@@ -1,0 +1,100 @@
+package ctms_test
+
+// Benchmarks, one per table/figure of the paper's evaluation (DESIGN.md's
+// experiment index). Each benchmark iteration runs the experiment at a
+// reduced duration; `go test -bench . -benchmem` regenerates every
+// comparison. Use cmd/ctmsbench -full for the paper's 117-minute runs.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// benchScale keeps each iteration affordable while still exercising the
+// full machinery (thousands of packets per run).
+var benchScale = core.Scale{Duration: 30 * sim.Second}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := core.ExperimentByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cmp := e.Run(benchScale)
+		if len(cmp.Metrics) == 0 {
+			b.Fatal("experiment produced no metrics")
+		}
+	}
+}
+
+// BenchmarkStockUnixPath is E1 (§1): the stock UNIX transport at 16 and
+// 150 KB/s.
+func BenchmarkStockUnixPath(b *testing.B) { benchExperiment(b, "E1") }
+
+// BenchmarkCopyModes is E2 (§2): copy accounting per data path.
+func BenchmarkCopyModes(b *testing.B) { benchExperiment(b, "E2") }
+
+// BenchmarkFig52 is E3: Test Case B histogram 6 (Figure 5-2).
+func BenchmarkFig52(b *testing.B) { benchExperiment(b, "E3") }
+
+// BenchmarkFig53 is E4: Test Case A histogram 7 (Figure 5-3).
+func BenchmarkFig53(b *testing.B) { benchExperiment(b, "E4") }
+
+// BenchmarkFig54 is E5: Test Case B histogram 7 (Figure 5-4).
+func BenchmarkFig54(b *testing.B) { benchExperiment(b, "E5") }
+
+// BenchmarkHistograms is E6 (§5.3): histograms 1–5 plus case A's 6.
+func BenchmarkHistograms(b *testing.B) { benchExperiment(b, "E6") }
+
+// BenchmarkMACOverhead is E7 (§4): MAC-frame monitoring interrupt load.
+func BenchmarkMACOverhead(b *testing.B) { benchExperiment(b, "E7") }
+
+// BenchmarkRingPurge is E8 (§5/§6): Ring Purge loss and recovery.
+func BenchmarkRingPurge(b *testing.B) { benchExperiment(b, "E8") }
+
+// BenchmarkBufferSizing is E9 (§6): <25 KB of buffering at 150 KB/s.
+func BenchmarkBufferSizing(b *testing.B) { benchExperiment(b, "E9") }
+
+// BenchmarkToolValidation is E10 (§5.2): the measurement-tool error
+// budget.
+func BenchmarkToolValidation(b *testing.B) { benchExperiment(b, "E10") }
+
+// BenchmarkAblations is E11 (§3/§4): the design-choice toggles.
+func BenchmarkAblations(b *testing.B) { benchExperiment(b, "E11") }
+
+// BenchmarkPointerTransfer is E12 (§2): the zero-CPU-copy extension.
+func BenchmarkPointerTransfer(b *testing.B) { benchExperiment(b, "E12") }
+
+// BenchmarkDriverRaceBug is E13 (§5): the critical-section bug the TAP
+// monitor caught, and its fix.
+func BenchmarkDriverRaceBug(b *testing.B) { benchExperiment(b, "E13") }
+
+// BenchmarkRateSweep is E15: the capacity-crossover sweep of stock UNIX
+// vs CTMSP across stream rates.
+func BenchmarkRateSweep(b *testing.B) { benchExperiment(b, "E15") }
+
+// BenchmarkRouterForwarding is E14 (footnote 5): the CTMS stream across
+// two rings through a store-and-forward router.
+func BenchmarkRouterForwarding(b *testing.B) { benchExperiment(b, "E14") }
+
+// BenchmarkRing16Mbit is E16: the 16 Mbit Token Ring what-if answering
+// the paper's title question at higher rates.
+func BenchmarkRing16Mbit(b *testing.B) { benchExperiment(b, "E16") }
+
+// BenchmarkSimulatorThroughput measures the raw discrete-event engine:
+// simulated seconds of Test Case A per wall second.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := core.TestCaseA()
+	cfg.Duration = 10 * sim.Second
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(10*float64(b.N)/b.Elapsed().Seconds(), "simsec/s")
+}

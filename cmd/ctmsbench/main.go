@@ -1,0 +1,96 @@
+// Command ctmsbench regenerates every table and figure of the paper's
+// evaluation: it runs the reproduction matrix (experiments E1–E16 of
+// DESIGN.md) and prints paper-vs-measured comparisons plus ASCII versions
+// of Figures 5-2, 5-3 and 5-4.
+//
+// Usage:
+//
+//	ctmsbench                  # run everything at the default scale
+//	ctmsbench -experiment E4   # one experiment
+//	ctmsbench -full            # full 117-minute test-case durations
+//	ctmsbench -minutes 10      # custom duration for the long scenarios
+//	ctmsbench -markdown        # emit an EXPERIMENTS.md-style report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "run a single experiment (E1..E16)")
+		full       = flag.Bool("full", false, "run the paper's full 117-minute durations")
+		minutes    = flag.Float64("minutes", 4, "scenario duration in minutes (ignored with -full)")
+		seed       = flag.Int64("seed", 0, "override the default seed")
+		markdown   = flag.Bool("markdown", false, "emit a markdown report")
+	)
+	flag.Parse()
+
+	scale := core.Scale{Seed: *seed}
+	if *full {
+		scale.Duration = 117 * sim.Minute
+	} else if *minutes > 0 {
+		scale.Duration = sim.Time(*minutes * float64(sim.Minute))
+	}
+
+	exps := core.Experiments()
+	if *experiment != "" {
+		e, ok := core.ExperimentByID(strings.ToUpper(*experiment))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "ctmsbench: unknown experiment %q\n", *experiment)
+			os.Exit(2)
+		}
+		exps = []core.Experiment{e}
+	}
+
+	failures := 0
+	for _, e := range exps {
+		start := time.Now()
+		cmp := e.Run(scale)
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *markdown {
+			printMarkdown(e, cmp)
+		} else {
+			fmt.Printf("=== %s (%s) %s  [wall %v]\n", e.ID, e.Source, e.Title, elapsed)
+			fmt.Print(cmp.Render())
+			for name, fig := range cmp.Figures {
+				fmt.Printf("\n%s\n%s\n", name, fig)
+			}
+			fmt.Println()
+		}
+		if !cmp.AllOK() {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "ctmsbench: %d experiment(s) deviated from the paper's shape\n", failures)
+		os.Exit(1)
+	}
+}
+
+func printMarkdown(e core.Experiment, cmp *core.Comparison) {
+	fmt.Printf("### %s — %s (%s)\n\n", e.ID, e.Title, e.Source)
+	fmt.Println("| metric | paper | measured | match |")
+	fmt.Println("|---|---|---|---|")
+	for _, m := range cmp.Metrics {
+		mark := "yes"
+		if !m.OK {
+			mark = "NO"
+		}
+		fmt.Printf("| %s | %s | %s | %s |\n", m.Name, m.Paper, m.Measured, mark)
+	}
+	for _, n := range cmp.Notes {
+		fmt.Printf("\n_%s_\n", n)
+	}
+	for name, fig := range cmp.Figures {
+		fmt.Printf("\n%s\n\n```\n%s```\n", name, fig)
+	}
+	fmt.Println()
+}

@@ -1,0 +1,80 @@
+// Command ctmsplot regenerates the paper's figures as SVG files: it runs
+// Test Cases A and B and writes fig5-2.svg, fig5-3.svg and fig5-4.svg
+// (plus the remaining histograms with -all).
+//
+// Usage:
+//
+//	ctmsplot -o figures/ -minutes 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", ".", "output directory")
+		minutes = flag.Float64("minutes", 4, "scenario duration in minutes")
+		all     = flag.Bool("all", false, "also write histograms 1–5 for both cases")
+		seed    = flag.Int64("seed", 0, "override seed")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	dur := sim.Time(*minutes * float64(sim.Minute))
+
+	run := func(cfg core.Config) *core.Results {
+		cfg.Duration = dur
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		r, err := core.Run(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		return r
+	}
+
+	fmt.Println("running Test Case A…")
+	ra := run(core.TestCaseA())
+	fmt.Println("running Test Case B…")
+	rb := run(core.TestCaseB())
+
+	write := func(name string, h *stats.Histogram, title string) {
+		svg := h.SVG(stats.SVGOptions{ClipHi: 45000, LogY: true, Title: title})
+		path := filepath.Join(*out, name)
+		if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (n=%d)\n", path, h.N())
+	}
+
+	write("fig5-2.svg", rb.Hists.H[measure.H6EntryToPreTransmit],
+		"Figure 5-2: VCA handler entered to just prior to transmission (Test Case B)")
+	write("fig5-3.svg", ra.Hists.H[measure.H7TxToRx],
+		"Figure 5-3: transmitter to receiver times, Test Case A")
+	write("fig5-4.svg", rb.Hists.H[measure.H7TxToRx],
+		"Figure 5-4: transmitter to receiver times, Test Case B")
+
+	if *all {
+		for id := measure.H1InterIRQ; id < measure.NumHistograms; id++ {
+			write(fmt.Sprintf("caseA-h%d.svg", int(id)+1), ra.Hists.H[id], "Test Case A: "+id.Label())
+			write(fmt.Sprintf("caseB-h%d.svg", int(id)+1), rb.Hists.H[id], "Test Case B: "+id.Label())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ctmsplot:", err)
+	os.Exit(1)
+}

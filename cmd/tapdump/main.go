@@ -1,0 +1,150 @@
+// Command tapdump runs a scenario briefly with the TAP ring monitor and
+// dumps what it saw: per-frame records (like IBM's Trace and Analysis
+// Program) and the traffic breakdown into the paper's three size classes.
+//
+// Usage:
+//
+//	tapdump -case B -seconds 5 -n 40
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/ring"
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		testCase = flag.String("case", "B", "scenario: A, B or stock")
+		seconds  = flag.Float64("seconds", 5, "simulated seconds to capture")
+		n        = flag.Int("n", 40, "packet records to print")
+		seed     = flag.Int64("seed", 0, "override seed")
+		save     = flag.String("o", "", "save the capture to a .ctap trace file")
+		load     = flag.String("i", "", "analyze an existing .ctap trace instead of running")
+	)
+	flag.Parse()
+
+	if *load != "" {
+		analyzeFile(*load)
+		return
+	}
+
+	var cfg core.Config
+	switch *testCase {
+	case "A", "a":
+		cfg = core.TestCaseA()
+	case "B", "b":
+		cfg = core.TestCaseB()
+	case "stock":
+		cfg = core.StockUnix(150_000)
+	default:
+		fmt.Fprintf(os.Stderr, "tapdump: unknown case %q\n", *testCase)
+		os.Exit(2)
+	}
+	cfg.Duration = sim.Time(*seconds * float64(sim.Second))
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	res, tap, err := core.RunWithTAP(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapdump:", err)
+		os.Exit(1)
+	}
+
+	entries := tap.Entries()
+	fmt.Printf("captured %d frames in %v (dropped by capture limit: %d)\n\n",
+		len(entries), time.Duration(cfg.Duration), tap.Dropped())
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tapdump:", err)
+			os.Exit(1)
+		}
+		if err := measure.WriteTrace(f, entries); err != nil {
+			fmt.Fprintln(os.Stderr, "tapdump:", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "tapdump:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("saved trace to %s\n\n", *save)
+	}
+
+	fmt.Printf("%-14s %-4s %-4s %-6s %-6s %-6s %-6s %s\n",
+		"time", "AC", "FC", "src", "dst", "len", "kind", "capture[:12]")
+	for i, e := range entries {
+		if i >= *n {
+			fmt.Printf("... %d more\n", len(entries)-*n)
+			break
+		}
+		kind := e.Kind.String()
+		if e.Kind == ring.MAC {
+			kind = e.MAC.String()
+		}
+		status := ""
+		if e.Lost {
+			status = "  ** LOST (ring purge)"
+		}
+		capture := e.Capture
+		if len(capture) > 12 {
+			capture = capture[:12]
+		}
+		fmt.Printf("%-14v 0x%02x 0x%02x %-6d %-6d %-6d %-6s % x%s\n",
+			e.T, e.AC, e.FC, e.Src, e.Dst, e.Len, kind, capture, status)
+	}
+
+	st := tap.Stats()
+	fmt.Printf("\ntraffic breakdown (the paper's three size classes + CTMSP):\n")
+	var keys []string
+	for k := range st.SizeClasses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-24s %8d frames\n", k, st.SizeClasses[k])
+	}
+	fmt.Printf("\nring utilization: %.2f%%   MAC frames: %d   lost to purges: %d\n",
+		100*tap.Utilization(4_000_000, cfg.Duration), st.MACFrames, st.LostFrames)
+
+	_ = res
+}
+
+// analyzeFile loads a saved trace and prints the offline analysis.
+func analyzeFile(path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapdump:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	entries, err := measure.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tapdump:", err)
+		os.Exit(1)
+	}
+	a := measure.AnalyzeTrace(entries, 4_000_000)
+	fmt.Printf("trace %s: %d frames over %v\n", path, a.Frames, a.Span)
+	fmt.Printf("utilization %.2f%%   MAC %d   lost %d\n", 100*a.Utilization, a.MACFrames, a.LostFrames)
+	var keys []string
+	for k := range a.SizeClasses {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("  %-24s %8d frames\n", k, a.SizeClasses[k])
+	}
+	if ia := a.InterArrival; ia != nil {
+		fmt.Printf("inter-arrival: mean %.0f µs, p99 %.0f µs, max %.0f µs, >10ms: %d, >100ms: %d\n",
+			ia.MeanMicros, ia.P99Micros, ia.MaxMicros, ia.CountOver10ms, ia.CountOver100ms)
+	}
+}

@@ -1,0 +1,276 @@
+// Package ctms is a Go reproduction of "Distributed Multimedia: How Can
+// the Necessary Data Rates be Supported?" (Pasieka, Crumley, Marks,
+// Infortuna; USENIX 1991) — the Carnegie Mellon ITC Continuous Time Media
+// System prototype.
+//
+// Everything below this API is a deterministic discrete-event simulation
+// built from scratch: a 4 Mbit/s Token Ring with access priority and Ring
+// Purge semantics, an IBM RT/PC machine model (interrupt levels, IO
+// Channel Memory, DMA cycle steal), the BSD mbuf/driver data path, the
+// paper's CTMSP protocol beside an ARP/IP/reliable-transport baseline,
+// the Voice Communications Adapter interrupt source, the campus ring's
+// background traffic, and the measurement toolchain (logic analyzer,
+// in-kernel pseudo-device, and the two-PC/AT parallel-port timestamper).
+//
+// The quickest way in:
+//
+//	res, err := ctms.Run(ctms.TestCaseB())
+//	fmt.Println(res.Report)
+//
+// Options exposes every configuration toggle §5.3 of the paper lists, so
+// any of its scenarios — and the ablations between them — can be run.
+package ctms
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/measure"
+	"repro/internal/sim"
+)
+
+// Protocol selects the transport architecture under test.
+type Protocol string
+
+const (
+	// CTMSP is the paper's prototype: direct driver-to-driver transfer
+	// over the CTMS Protocol.
+	CTMSP Protocol = "ctmsp"
+	// StockUnix is the unmodified path: a user-level relay process over
+	// a TCP-class reliable transport and IP.
+	StockUnix Protocol = "stock-unix"
+)
+
+// Tool selects the measurement instrument whose view is reported.
+type Tool string
+
+const (
+	// LogicAnalyzer records exact timestamps with no perturbation.
+	LogicAnalyzer Tool = "logic-analyzer"
+	// PCAT is the paper's remote two-machine parallel-port rig: a 2 µs
+	// 16-bit wrapping clock with a 50 Hz rollover marker and a polling
+	// loop whose service time bounds the error.
+	PCAT Tool = "pcat"
+	// PseudoDev is the in-kernel recorder: 122 µs clock granularity and
+	// it perturbs the machine being measured.
+	PseudoDev Tool = "pseudodev"
+)
+
+// Load is the amount of background traffic on a public ring.
+type Load string
+
+const (
+	// LoadNone means a private, unloaded network.
+	LoadNone Load = "none"
+	// LoadNormal is the campus ring's everyday traffic.
+	LoadNormal Load = "normal"
+	// LoadHeavy is a deliberately busy ring for sweeps.
+	LoadHeavy Load = "heavy"
+)
+
+// Options describes one experiment. The zero value is not runnable; start
+// from TestCaseA, TestCaseB, StockUnixAt or DefaultOptions and modify.
+type Options struct {
+	Name     string
+	Seed     int64
+	Duration time.Duration
+
+	// PacketBytes are sent every Interval (the paper: 2000 B / 12 ms).
+	PacketBytes int
+	Interval    time.Duration
+
+	Protocol Protocol
+	Tool     Tool
+
+	// Transmitter data-path toggles (§5.3).
+	TxIOChannelMemory bool
+	TxCopyHeaderOnly  bool
+	TxCopyVCAToMbufs  bool
+	PointerTransfer   bool
+
+	// Receiver data-path toggles.
+	RxCopyToMbufs bool
+	RxCopyToVCA   bool
+
+	// Driver and protocol toggles.
+	DriverPriority   bool
+	RingPriority     bool
+	PrecomputeHeader bool
+	PurgeInterrupt   bool
+	// DriverRaceBug re-introduces the §5 critical-section bug that
+	// produced out-of-order packets until the prototype protected its
+	// queue manipulation.
+	DriverRaceBug bool
+
+	// Environment.
+	PublicNetwork   bool
+	NetworkLoad     Load
+	Multiprocessing bool
+	Insertions      bool
+
+	// ForceInsertionAt injects one station insertion (a Ring Purge
+	// burst) at the given offset; zero disables it.
+	ForceInsertionAt time.Duration
+
+	// PlayoutPrebuffer delays playback after the first packet.
+	PlayoutPrebuffer time.Duration
+
+	// HistogramBinWidthMicros sets the reported histograms' bin width.
+	HistogramBinWidthMicros float64
+}
+
+// TestCaseA returns §5.3's Test Case A: private unloaded ring, standalone
+// machines, full copy on the transmitter, receiver drops after the mbuf
+// copy. Reproduces Figure 5-3.
+func TestCaseA() Options { return fromCore(core.TestCaseA()) }
+
+// TestCaseB returns §5.3's Test Case B: public loaded ring,
+// multiprocessing machines, full copying both ends. Reproduces Figures
+// 5-2 and 5-4.
+func TestCaseB() Options { return fromCore(core.TestCaseB()) }
+
+// StockUnixAt returns the §1 baseline moving rateBytesPerSec through the
+// unmodified user-process path. The paper ran 16_000 (worked) and
+// 150_000 (failed completely).
+func StockUnixAt(rateBytesPerSec int) Options {
+	return fromCore(core.StockUnix(rateBytesPerSec))
+}
+
+func fromCore(c core.Config) Options {
+	return Options{
+		Name:                    c.Name,
+		Seed:                    c.Seed,
+		Duration:                c.Duration.Std(),
+		PacketBytes:             c.PacketBytes,
+		Interval:                c.Interval.Std(),
+		Protocol:                protoFrom(c.Protocol),
+		Tool:                    toolFrom(c.Tool),
+		TxIOChannelMemory:       c.TxIOChannelMemory,
+		TxCopyHeaderOnly:        c.TxCopyHeaderOnly,
+		TxCopyVCAToMbufs:        c.TxCopyVCAToMbufs,
+		PointerTransfer:         c.PointerTransfer,
+		RxCopyToMbufs:           c.RxCopyToMbufs,
+		RxCopyToVCA:             c.RxCopyToVCA,
+		DriverPriority:          c.DriverPriority,
+		RingPriority:            c.RingPriority,
+		PrecomputeHeader:        c.PrecomputeHeader,
+		PurgeInterrupt:          c.PurgeInterrupt,
+		DriverRaceBug:           c.DriverRaceBug,
+		PublicNetwork:           c.PublicNetwork,
+		NetworkLoad:             loadFrom(c.NetworkLoad),
+		Multiprocessing:         c.Multiprocessing,
+		Insertions:              c.Insertions,
+		ForceInsertionAt:        c.ForceInsertionAt.Std(),
+		PlayoutPrebuffer:        c.PlayoutPrebuffer.Std(),
+		HistogramBinWidthMicros: c.HistogramBinWidth,
+	}
+}
+
+func (o Options) toCore() (core.Config, error) {
+	c := core.Config{
+		Name:              o.Name,
+		Seed:              o.Seed,
+		Duration:          sim.Time(o.Duration),
+		PacketBytes:       o.PacketBytes,
+		Interval:          sim.Time(o.Interval),
+		TxIOChannelMemory: o.TxIOChannelMemory,
+		TxCopyHeaderOnly:  o.TxCopyHeaderOnly,
+		TxCopyVCAToMbufs:  o.TxCopyVCAToMbufs,
+		PointerTransfer:   o.PointerTransfer,
+		RxCopyToMbufs:     o.RxCopyToMbufs,
+		RxCopyToVCA:       o.RxCopyToVCA,
+		DriverPriority:    o.DriverPriority,
+		RingPriority:      o.RingPriority,
+		PrecomputeHeader:  o.PrecomputeHeader,
+		PurgeInterrupt:    o.PurgeInterrupt,
+		DriverRaceBug:     o.DriverRaceBug,
+		PublicNetwork:     o.PublicNetwork,
+		Multiprocessing:   o.Multiprocessing,
+		Insertions:        o.Insertions,
+		ForceInsertionAt:  sim.Time(o.ForceInsertionAt),
+		PlayoutPrebuffer:  sim.Time(o.PlayoutPrebuffer),
+		HistogramBinWidth: o.HistogramBinWidthMicros,
+	}
+	switch o.Protocol {
+	case CTMSP, "":
+		c.Protocol = core.ProtocolCTMSP
+	case StockUnix:
+		c.Protocol = core.ProtocolStockUnix
+	default:
+		return c, fmt.Errorf("ctms: unknown protocol %q", o.Protocol)
+	}
+	switch o.Tool {
+	case LogicAnalyzer, "":
+		c.Tool = core.ToolLogicAnalyzer
+	case PCAT:
+		c.Tool = core.ToolPCAT
+	case PseudoDev:
+		c.Tool = core.ToolPseudoDev
+	default:
+		return c, fmt.Errorf("ctms: unknown tool %q", o.Tool)
+	}
+	switch o.NetworkLoad {
+	case LoadNone, "":
+		c.NetworkLoad = core.LoadNone
+	case LoadNormal:
+		c.NetworkLoad = core.LoadNormal
+	case LoadHeavy:
+		c.NetworkLoad = core.LoadHeavy
+	default:
+		return c, fmt.Errorf("ctms: unknown load %q", o.NetworkLoad)
+	}
+	return c, nil
+}
+
+func protoFrom(p core.Protocol) Protocol {
+	if p == core.ProtocolStockUnix {
+		return StockUnix
+	}
+	return CTMSP
+}
+
+func toolFrom(t core.Tool) Tool {
+	switch t {
+	case core.ToolPCAT:
+		return PCAT
+	case core.ToolPseudoDev:
+		return PseudoDev
+	}
+	return LogicAnalyzer
+}
+
+func loadFrom(l core.LoadLevel) Load {
+	switch l {
+	case core.LoadNormal:
+		return LoadNormal
+	case core.LoadHeavy:
+		return LoadHeavy
+	}
+	return LoadNone
+}
+
+// Run executes the experiment and returns its results.
+func Run(o Options) (*Result, error) {
+	cfg, err := o.toCore()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return resultFrom(res), nil
+}
+
+// Histograms the package reports, in the paper's numbering.
+const (
+	HistInterIRQ           = int(measure.H1InterIRQ)
+	HistInterEntry         = int(measure.H2InterEntry)
+	HistInterPreTransmit   = int(measure.H3InterPreTransmit)
+	HistInterRxClassified  = int(measure.H4InterRxClassified)
+	HistIRQToEntry         = int(measure.H5IRQToEntry)
+	HistEntryToPreTransmit = int(measure.H6EntryToPreTransmit) // Figure 5-2
+	HistTxToRx             = int(measure.H7TxToRx)             // Figures 5-3/5-4
+	NumHistograms          = int(measure.NumHistograms)
+)

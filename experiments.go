@@ -1,0 +1,75 @@
+package ctms
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// ExperimentInfo describes one entry of the reproduction matrix.
+type ExperimentInfo struct {
+	ID     string // "E1".."E15"
+	Source string // figure/table/section in the paper
+	Title  string
+}
+
+// ExperimentMetric is one paper-vs-measured comparison row.
+type ExperimentMetric struct {
+	Name     string
+	Paper    string
+	Measured string
+	OK       bool
+}
+
+// ExperimentResult is an experiment's outcome.
+type ExperimentResult struct {
+	Info    ExperimentInfo
+	Metrics []ExperimentMetric
+	// Figures maps figure names to ASCII renderings.
+	Figures map[string]string
+	Notes   []string
+}
+
+// AllOK reports whether every metric matched the paper's shape.
+func (r *ExperimentResult) AllOK() bool {
+	for _, m := range r.Metrics {
+		if !m.OK {
+			return false
+		}
+	}
+	return true
+}
+
+// Experiments lists the reproduction matrix (DESIGN.md §4): every figure,
+// table and headline claim of the paper, plus the extensions (E12–E15).
+func Experiments() []ExperimentInfo {
+	var out []ExperimentInfo
+	for _, e := range core.Experiments() {
+		out = append(out, ExperimentInfo{ID: e.ID, Source: e.Source, Title: e.Title})
+	}
+	return out
+}
+
+// RunExperiment executes one experiment. duration scales the long
+// scenarios (zero means each experiment's default; the paper's Test Case
+// B ran 117 minutes).
+func RunExperiment(id string, duration time.Duration) (*ExperimentResult, error) {
+	e, ok := core.ExperimentByID(id)
+	if !ok {
+		return nil, fmt.Errorf("ctms: unknown experiment %q", id)
+	}
+	cmp := e.Run(core.Scale{Duration: sim.Time(duration)})
+	res := &ExperimentResult{
+		Info:    ExperimentInfo{ID: e.ID, Source: e.Source, Title: e.Title},
+		Figures: cmp.Figures,
+		Notes:   cmp.Notes,
+	}
+	for _, m := range cmp.Metrics {
+		res.Metrics = append(res.Metrics, ExperimentMetric{
+			Name: m.Name, Paper: m.Paper, Measured: m.Measured, OK: m.OK,
+		})
+	}
+	return res, nil
+}

@@ -1,0 +1,59 @@
+package ctms_test
+
+import (
+	"testing"
+	"time"
+
+	ctms "repro"
+)
+
+func TestExperimentListing(t *testing.T) {
+	exps := ctms.Experiments()
+	if len(exps) < 15 {
+		t.Fatalf("matrix too small: %d", len(exps))
+	}
+	seen := map[string]bool{}
+	for _, e := range exps {
+		if e.ID == "" || e.Title == "" || e.Source == "" {
+			t.Fatalf("incomplete experiment: %+v", e)
+		}
+		if seen[e.ID] {
+			t.Fatalf("duplicate id %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+	for _, want := range []string{"E1", "E3", "E4", "E5", "E15"} {
+		if !seen[want] {
+			t.Fatalf("missing %s", want)
+		}
+	}
+}
+
+func TestRunExperimentPublic(t *testing.T) {
+	res, err := ctms.RunExperiment("E2", 0) // structural, instant
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllOK() {
+		t.Fatalf("E2 deviated: %+v", res.Metrics)
+	}
+	if res.Info.ID != "E2" || len(res.Metrics) == 0 {
+		t.Fatalf("result shape: %+v", res)
+	}
+	if _, err := ctms.RunExperiment("E99", 0); err == nil {
+		t.Fatal("unknown id must error")
+	}
+}
+
+func TestRunExperimentScaled(t *testing.T) {
+	res, err := ctms.RunExperiment("E4", 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.AllOK() {
+		t.Fatalf("E4 at 30 s deviated:\n%+v", res.Metrics)
+	}
+	if len(res.Figures) == 0 {
+		t.Fatal("E4 should render Figure 5-3")
+	}
+}

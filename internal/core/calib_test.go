@@ -1,0 +1,58 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/measure"
+	"repro/internal/sim"
+)
+
+// TestCalibrationReport is a diagnostic: run short versions of the main
+// scenarios and print their reports. Guarded behind -run Calibration and
+// testing.Verbose so normal test runs stay quiet.
+func TestCalibrationReport(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("calibration report only under -v")
+	}
+	a := TestCaseA()
+	a.Duration = 2 * sim.Minute
+	ra, err := Run(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + ra.Report())
+	h7 := ra.Truth.H[measure.H7TxToRx]
+	t.Logf("A h7: min=%.0f mean=%.0f p98-band=%.3f", h7.Min(), h7.Mean(), h7.FractionNear(h7.Mean(), 160))
+	h6 := ra.Truth.H[measure.H6EntryToPreTransmit]
+	t.Logf("A h6: min=%.0f mean=%.0f mode=%.0f", h6.Min(), h6.Mean(), h6.Mode())
+
+	b := TestCaseB()
+	b.Duration = 4 * sim.Minute
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rb.Report())
+	h6b := rb.Truth.H[measure.H6EntryToPreTransmit]
+	t.Logf("B h6: mode=%.0f peaks=%v frac2600=%.3f frac9400=%.3f fracBetween=%.3f",
+		h6b.Mode(), h6b.Peaks(0.01),
+		h6b.FractionNear(2600, 500), h6b.FractionNear(9400, 500), h6b.FractionWithin(3100, 8900))
+	h7b := rb.Truth.H[measure.H7TxToRx]
+	t.Logf("B h7: min=%.0f fracPeak=%.3f frac11-15=%.3f frac15-40=%.3f max=%.0f",
+		h7b.Min(), h7b.FractionNear(10900, 160), h7b.FractionWithin(11060, 15000),
+		h7b.FractionWithin(15000, 40050), h7b.Max())
+
+	s150 := StockUnix(150_000)
+	rs, err := Run(s150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rs.Report())
+
+	s16 := StockUnix(16_000)
+	rs16, err := Run(s16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + rs16.Report())
+}

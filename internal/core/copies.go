@@ -1,0 +1,75 @@
+package core
+
+// CopyStep is one data movement on the path from source device to
+// destination device.
+type CopyStep struct {
+	From, To string
+	ByCPU    bool // CPU copy vs DMA/adapter transfer
+}
+
+// CopyLedger is the §2 accounting: how many times the packet's bytes move
+// between source device and destination device, and who moves them.
+type CopyLedger struct {
+	Steps []CopyStep
+}
+
+// CPUCopies counts copies performed by the CPU.
+func (l CopyLedger) CPUCopies() int {
+	n := 0
+	for _, s := range l.Steps {
+		if s.ByCPU {
+			n++
+		}
+	}
+	return n
+}
+
+// DMACopies counts copies performed by DMA hardware.
+func (l CopyLedger) DMACopies() int { return len(l.Steps) - l.CPUCopies() }
+
+// Total counts all data movements.
+func (l CopyLedger) Total() int { return len(l.Steps) }
+
+// CopiesFor derives the copy ledger for a configuration, reproducing the
+// §2 analysis: the stock model makes four CPU copies (six movements with
+// DMA devices); direct driver-to-driver transfer eliminates two CPU
+// copies; the pointer-transfer extension eliminates the rest.
+func CopiesFor(c Config) CopyLedger {
+	var l CopyLedger
+	add := func(from, to string, cpu bool) {
+		l.Steps = append(l.Steps, CopyStep{From: from, To: to, ByCPU: cpu})
+	}
+	if c.Protocol == ProtocolStockUnix {
+		// Figure 2-2's expanded path through a user process.
+		add("source device", "fixed DMA buffer", false)
+		add("fixed DMA buffer", "mbufs", true)
+		add("mbufs", "user space", true)
+		add("user space", "mbufs", true)
+		add("mbufs", "fixed DMA buffer", true)
+		add("fixed DMA buffer", "network adapter", false)
+		return l
+	}
+	// Driver-to-driver CTMSP path.
+	if c.TxCopyVCAToMbufs {
+		add("VCA device buffer", "mbufs", true)
+	}
+	if c.PointerTransfer {
+		add("mbufs (by pointer)", "network adapter", false)
+	} else {
+		add("mbufs", "fixed DMA buffer", true)
+		add("fixed DMA buffer", "network adapter", false)
+	}
+	// Receive side.
+	add("network adapter", "fixed DMA buffer", false)
+	if c.RxCopyToMbufs {
+		add("fixed DMA buffer", "mbufs", true)
+	}
+	if c.RxCopyToVCA {
+		src := "fixed DMA buffer"
+		if c.RxCopyToMbufs {
+			src = "mbufs"
+		}
+		add(src, "VCA device buffer", true)
+	}
+	return l
+}

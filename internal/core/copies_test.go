@@ -1,0 +1,122 @@
+package core
+
+import "testing"
+
+func TestStockPathCopyCount(t *testing.T) {
+	// §2: "the number of copies performed ... can be as many as six and
+	// as few as four. ... There will always be four copies made by the
+	// CPU."
+	l := CopiesFor(StockUnix(150_000))
+	if l.Total() != 6 {
+		t.Fatalf("stock path with DMA devices: want 6 movements, got %d", l.Total())
+	}
+	if l.CPUCopies() != 4 {
+		t.Fatalf("stock path: want 4 CPU copies, got %d", l.CPUCopies())
+	}
+	if l.DMACopies() != 2 {
+		t.Fatalf("stock path: want 2 DMA movements, got %d", l.DMACopies())
+	}
+}
+
+func TestDriverToDriverEliminatesTwoCPUCopies(t *testing.T) {
+	// §2: direct driver-to-driver transfer "completely eliminates two of
+	// the data copies" — the mbuf→user and user→mbuf crossings.
+	stock := CopiesFor(StockUnix(150_000))
+	d2d := CopiesFor(TestCaseB())
+	if stock.CPUCopies()-d2d.CPUCopies() < 1 {
+		t.Fatalf("driver-to-driver must reduce CPU copies: %d vs %d", d2d.CPUCopies(), stock.CPUCopies())
+	}
+	for _, s := range d2d.Steps {
+		if s.From == "user space" || s.To == "user space" {
+			t.Fatalf("driver-to-driver path must not cross user space: %+v", s)
+		}
+	}
+	for _, want := range []string{"user space"} {
+		found := false
+		for _, s := range stock.Steps {
+			if s.To == want || s.From == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("stock path must cross %s", want)
+		}
+	}
+}
+
+func TestTestCaseACopies(t *testing.T) {
+	// A: tx copies header+data into the DMA buffer (1 CPU copy), rx
+	// copies into mbufs (1 CPU copy), data dropped before the VCA.
+	l := CopiesFor(TestCaseA())
+	if l.CPUCopies() != 2 {
+		t.Fatalf("test case A: want 2 CPU copies, got %d (%v)", l.CPUCopies(), l.Steps)
+	}
+}
+
+func TestTestCaseBCopies(t *testing.T) {
+	// B adds the mbuf→VCA copy on the receiver.
+	l := CopiesFor(TestCaseB())
+	if l.CPUCopies() != 3 {
+		t.Fatalf("test case B: want 3 CPU copies, got %d (%v)", l.CPUCopies(), l.Steps)
+	}
+}
+
+func TestPointerTransferEliminatesAllTxCPUCopies(t *testing.T) {
+	cfg := TestCaseA()
+	cfg.PointerTransfer = true
+	cfg.RxCopyToMbufs = false
+	cfg.RxCopyToVCA = false
+	l := CopiesFor(cfg)
+	if l.CPUCopies() != 0 {
+		t.Fatalf("pointer transfer with in-place rx: want 0 CPU copies, got %d (%v)", l.CPUCopies(), l.Steps)
+	}
+	if l.DMACopies() != 2 {
+		t.Fatalf("DMA movements remain: got %d", l.DMACopies())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := TestCaseA()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("preset config should validate: %v", err)
+	}
+	bad := good
+	bad.Duration = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero duration must fail")
+	}
+	bad = good
+	bad.PacketBytes = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero packet size must fail")
+	}
+	bad = good
+	bad.PointerTransfer = true
+	bad.TxCopyHeaderOnly = true
+	if bad.Validate() == nil {
+		t.Fatal("contradictory copy options must fail")
+	}
+	if _, err := Run(bad); err == nil {
+		t.Fatal("Run must reject invalid configs")
+	}
+}
+
+func TestPresetsDifferAsDocumented(t *testing.T) {
+	a, b := TestCaseA(), TestCaseB()
+	if a.PublicNetwork || !b.PublicNetwork {
+		t.Fatal("A is private, B is public")
+	}
+	if a.Multiprocessing || !b.Multiprocessing {
+		t.Fatal("A standalone, B multiprocessing")
+	}
+	if a.RxCopyToVCA || !b.RxCopyToVCA {
+		t.Fatal("only B does the full receive copy")
+	}
+	if !a.TxIOChannelMemory || !b.TxIOChannelMemory {
+		t.Fatal("both use IO Channel Memory")
+	}
+	s := StockUnix(150_000)
+	if s.Protocol != ProtocolStockUnix || s.PacketBytes != 1800 {
+		t.Fatalf("stock preset wrong: %+v", s)
+	}
+}

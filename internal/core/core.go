@@ -1,0 +1,206 @@
+// Package core assembles the paper's experiments: it builds the machines,
+// ring, protocol stacks, measurement tools and background workloads for a
+// scenario described by a Config, runs it, and collects the seven §5.3
+// histograms plus delivery, buffering and copy accounting.
+//
+// The two headline scenarios are TestCaseA (private unloaded ring,
+// standalone machines) and TestCaseB (public loaded ring, multiprocessing
+// machines), which regenerate Figures 5-2, 5-3 and 5-4. StockUnix builds
+// the unmodified user-process/TCP-style path of §1–2 for the "failed
+// completely at 150 KB/s" baseline.
+package core
+
+import (
+	"repro/internal/sim"
+)
+
+// Protocol selects the transport architecture under test.
+type Protocol int
+
+const (
+	// ProtocolCTMSP is the prototype: direct driver-to-driver transfer
+	// over the CTMS Protocol.
+	ProtocolCTMSP Protocol = iota
+	// ProtocolStockUnix is the unmodified path: a user-level relay
+	// process over the reliable transport and IP.
+	ProtocolStockUnix
+)
+
+func (p Protocol) String() string {
+	if p == ProtocolStockUnix {
+		return "stock-unix"
+	}
+	return "ctmsp"
+}
+
+// Tool selects which measurement instrument produces the histograms.
+type Tool int
+
+const (
+	// ToolLogicAnalyzer records exact timestamps (ground truth).
+	ToolLogicAnalyzer Tool = iota
+	// ToolPCAT is the remote PC/AT parallel-port rig (what the paper's
+	// figures were measured with).
+	ToolPCAT
+	// ToolPseudoDev is the in-kernel 122 µs recorder.
+	ToolPseudoDev
+)
+
+func (t Tool) String() string {
+	switch t {
+	case ToolPCAT:
+		return "pcat"
+	case ToolPseudoDev:
+		return "pseudodev"
+	}
+	return "logic-analyzer"
+}
+
+// LoadLevel sets how much background traffic the public ring carries.
+type LoadLevel int
+
+const (
+	// LoadNone is a private network.
+	LoadNone LoadLevel = iota
+	// LoadNormal is the campus ring's ordinary traffic.
+	LoadNormal
+	// LoadHeavy is a busy ring (used in sweeps, beyond the paper).
+	LoadHeavy
+)
+
+// Config describes one experiment, with every §5.3 toggle explicit.
+type Config struct {
+	Name     string
+	Seed     int64
+	Duration sim.Time
+
+	// Stream shape: PacketBytes every Interval (2000 B / 12 ms ≈
+	// 166 KB/s, the paper's 150 KB/s-class stream).
+	PacketBytes int
+	Interval    sim.Time
+
+	Protocol Protocol
+
+	// Transmitter data path (§5.3 toggles).
+	TxIOChannelMemory bool // fixed DMA buffers in IO Channel Memory
+	TxCopyHeaderOnly  bool // copy only the header into the DMA buffer
+	TxCopyVCAToMbufs  bool // copy data from the VCA device buffer
+	PointerTransfer   bool // §2's extension: no CPU copy, DMA from mbufs
+
+	// Receiver data path.
+	RxCopyToMbufs bool // copy DMA buffer → mbufs before the VCA sees it
+	RxCopyToVCA   bool // copy data into the VCA device buffer (vs drop)
+
+	// Driver and protocol toggles.
+	DriverPriority   bool // CTMSP above ARP/IP inside the driver
+	RingPriority     bool // CTMSP above other traffic on the ring
+	PrecomputeHeader bool // ring header computed once per connection
+	PurgeInterrupt   bool // hypothetical purge-notifying adapter
+	DriverRaceBug    bool // re-introduce §5's critical-section bug
+
+	// Environment.
+	PublicNetwork   bool      // background traffic on the ring
+	NetworkLoad     LoadLevel // how much
+	Multiprocessing bool      // competing processes + control socket
+	Insertions      bool      // station insertion / Ring Purge generator
+
+	Tool Tool
+
+	// ForceInsertionAt, when nonzero, injects one station insertion (a
+	// burst of back-to-back Ring Purges) at the given time — used to
+	// study the 120–130 ms outliers deterministically.
+	ForceInsertionAt sim.Time
+
+	// RingBitRate overrides the ring's signalling rate (0 = the paper's
+	// 4 Mbit/s). The IBM hardware reference the paper cites covers the
+	// 16/4 adapter; 16 Mbit/s is the what-if of experiment E16.
+	RingBitRate int64
+
+	// PlayoutPrebuffer is how much stream time the receiver buffers
+	// before starting playback; §6 concludes <25 KB (≈160 ms of stream)
+	// suffices, and 40 ms covers everything but ring insertions.
+	PlayoutPrebuffer sim.Time
+
+	// HistogramBinWidth for the collected histograms, in microseconds.
+	HistogramBinWidth float64
+}
+
+// TestCaseA is §5.3's Test Case A: IO Channel Memory, full copy on the
+// transmitter, receiver copies to mbufs but drops the data, driver and
+// ring priority on, remote (PC/AT) measurement, private unloaded network,
+// standalone machines.
+func TestCaseA() Config {
+	return Config{
+		Name:              "test-case-A",
+		Seed:              1991,
+		Duration:          117 * sim.Minute,
+		PacketBytes:       2000,
+		Interval:          12 * sim.Millisecond,
+		Protocol:          ProtocolCTMSP,
+		TxIOChannelMemory: true,
+		RxCopyToMbufs:     true,
+		RxCopyToVCA:       false,
+		DriverPriority:    true,
+		RingPriority:      true,
+		PrecomputeHeader:  true,
+		PublicNetwork:     false,
+		NetworkLoad:       LoadNone,
+		Multiprocessing:   false,
+		Insertions:        false,
+		Tool:              ToolPCAT,
+		PlayoutPrebuffer:  40 * sim.Millisecond,
+		HistogramBinWidth: 100,
+	}
+}
+
+// TestCaseB is §5.3's Test Case B: as A, but full copying on both ends,
+// public network under normal load, multiprocessing machines (not heavily
+// loaded), and the insertion generator enabled — the 117-minute run whose
+// two ring insertions produced the 120–130 ms outliers.
+func TestCaseB() Config {
+	c := TestCaseA()
+	c.Name = "test-case-B"
+	c.RxCopyToVCA = true
+	c.PublicNetwork = true
+	c.NetworkLoad = LoadNormal
+	c.Multiprocessing = true
+	c.Insertions = true
+	return c
+}
+
+// StockUnix is the §1 baseline: the unmodified UNIX model moving
+// rateBytesPerSec through a user-level relay over the reliable transport.
+// The paper ran it at 16 KB/s (worked "extremely well") and 150 KB/s
+// ("failed completely").
+func StockUnix(rateBytesPerSec int) Config {
+	c := TestCaseB()
+	c.Name = "stock-unix"
+	c.Protocol = ProtocolStockUnix
+	c.Duration = 2 * sim.Minute
+	c.TxIOChannelMemory = false
+	c.DriverPriority = false
+	c.RingPriority = false
+	c.PrecomputeHeader = false
+	c.Insertions = false
+	c.Tool = ToolLogicAnalyzer
+	// Keep the 12 ms device interval and size packets for the rate.
+	c.PacketBytes = rateBytesPerSec * int(c.Interval) / int(sim.Second)
+	return c
+}
+
+// Validate reports configuration mistakes early.
+func (c Config) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return errf("duration must be positive")
+	case c.PacketBytes <= 0 || c.PacketBytes > 4000:
+		return errf("packet size %d out of range", c.PacketBytes)
+	case c.Interval <= 0:
+		return errf("interval must be positive")
+	case c.HistogramBinWidth <= 0:
+		return errf("histogram bin width must be positive")
+	case c.PointerTransfer && c.TxCopyHeaderOnly:
+		return errf("pointer transfer already eliminates the copy")
+	}
+	return nil
+}

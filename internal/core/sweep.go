@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// SweepPoint is one rate's outcome for one path.
+type SweepPoint struct {
+	RateBytesPerSec int
+	Delivered       float64
+	Glitches        uint64
+	TxCPU, RxCPU    float64
+	Sustainable     bool
+}
+
+// sustainable is the bar for "carries the stream": essentially lossless
+// and not glitching more than once a minute.
+func sustainable(r *Results) bool {
+	perMin := float64(r.Playout.Glitches) / (r.Elapsed.Seconds() / 60)
+	return r.DeliveredFraction() > 0.999 && perMin <= 1
+}
+
+// RateSweep runs a protocol at each rate and reports the outcomes. The
+// stream keeps the VCA's 12 ms interval; the packet size scales with the
+// rate (as the paper's own 16 KB/s vs 150 KB/s tests did).
+func RateSweep(protocol Protocol, rates []int, dur sim.Time, seed int64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, rate := range rates {
+		var cfg Config
+		if protocol == ProtocolStockUnix {
+			cfg = StockUnix(rate)
+		} else {
+			cfg = TestCaseB()
+			cfg.PacketBytes = rate * int(cfg.Interval) / int(sim.Second)
+			cfg.Name = fmt.Sprintf("ctmsp-%dKBps", rate/1000)
+		}
+		if cfg.PacketBytes < 64 {
+			cfg.PacketBytes = 64
+		}
+		if cfg.PacketBytes > 3800 {
+			return out, fmt.Errorf("core: rate %d needs packets beyond the ring MTU model", rate)
+		}
+		cfg.Duration = dur
+		cfg.Insertions = false
+		if seed != 0 {
+			cfg.Seed = seed
+		}
+		r, err := Run(cfg)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, SweepPoint{
+			RateBytesPerSec: rate,
+			Delivered:       r.DeliveredFraction(),
+			Glitches:        r.Playout.Glitches,
+			TxCPU:           r.TxCPUUtil,
+			RxCPU:           r.RxCPUUtil,
+			Sustainable:     sustainable(r),
+		})
+	}
+	return out, nil
+}
+
+// Crossover reports the highest sustainable rate in a sweep (0 if none).
+func Crossover(points []SweepPoint) int {
+	best := 0
+	for _, p := range points {
+		if p.Sustainable && p.RateBytesPerSec > best {
+			best = p.RateBytesPerSec
+		}
+	}
+	return best
+}
+
+// runE15 sweeps both paths across the rate axis: the stock UNIX model
+// must fall over somewhere between the paper's 16 KB/s (works) and
+// 150 KB/s (fails); CTMSP must carry 150 KB/s and beyond.
+func runE15(s Scale) *Comparison {
+	c := &Comparison{}
+	dur := 45 * sim.Second
+	if s.Duration > 0 && s.Duration < dur {
+		dur = s.Duration
+	}
+	rates := []int{16_000, 48_000, 96_000, 150_000, 200_000, 250_000}
+
+	stock, err := RateSweep(ProtocolStockUnix, rates, dur, s.Seed)
+	if err != nil {
+		c.addf("stock sweep", "-", false, "error: %v", err)
+		return c
+	}
+	ctmsp, err := RateSweep(ProtocolCTMSP, rates, dur, s.Seed)
+	if err != nil {
+		c.addf("ctmsp sweep", "-", false, "error: %v", err)
+		return c
+	}
+
+	for i, rate := range rates {
+		c.Notes = append(c.Notes, fmt.Sprintf(
+			"%3d KB/s: stock %.4f delivered / %d glitches (cpu %.0f%%/%.0f%%) | ctmsp %.4f / %d (cpu %.0f%%/%.0f%%)",
+			rate/1000,
+			stock[i].Delivered, stock[i].Glitches, 100*stock[i].TxCPU, 100*stock[i].RxCPU,
+			ctmsp[i].Delivered, ctmsp[i].Glitches, 100*ctmsp[i].TxCPU, 100*ctmsp[i].RxCPU))
+	}
+
+	stockMax := Crossover(stock)
+	ctmspMax := Crossover(ctmsp)
+	c.addf("stock path sustainable at 16 KB/s", "works extremely well",
+		stock[0].Sustainable, "%t", stock[0].Sustainable)
+	c.addf("stock path sustainable at 150 KB/s", "failed completely",
+		!stock[3].Sustainable, "%t", stock[3].Sustainable)
+	c.addf("stock path capacity crossover", "between 16 and 150 KB/s",
+		stockMax >= 16_000 && stockMax < 150_000, "%d KB/s", stockMax/1000)
+	c.addf("CTMSP sustainable at 150 KB/s", "the design goal",
+		ctmsp[3].Sustainable, "%t", ctmsp[3].Sustainable)
+	c.addf("CTMSP capacity exceeds stock's", "the point of the paper",
+		ctmspMax > stockMax, "%d vs %d KB/s", ctmspMax/1000, stockMax/1000)
+	return c
+}

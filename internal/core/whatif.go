@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/measure"
+	"repro/internal/sim"
+)
+
+// runE16 answers the paper's title question quantitatively: with the
+// prototype's modifications in place, what bounds the supportable data
+// rate, and what does the 16 Mbit Token Ring (whose hardware reference
+// the paper already cites) buy?
+func runE16(s Scale) *Comparison {
+	c := &Comparison{}
+	dur := 45 * sim.Second
+	if s.Duration > 0 && s.Duration < dur {
+		dur = s.Duration
+	}
+
+	run := func(bitRate int64, rate int) (*Results, error) {
+		cfg := TestCaseB()
+		cfg.Name = fmt.Sprintf("whatif-%dMbit-%dKBps", bitRate/1_000_000, rate/1000)
+		cfg.Duration = dur
+		cfg.Insertions = false
+		cfg.RingBitRate = bitRate
+		cfg.PacketBytes = rate * int(cfg.Interval) / int(sim.Second)
+		if s.Seed != 0 {
+			cfg.Seed = s.Seed
+		}
+		return Run(cfg)
+	}
+
+	// The paper's rate on both rings.
+	r4, err := run(4_000_000, 166_000)
+	if err != nil {
+		c.addf("4 Mbit baseline", "-", false, "error: %v", err)
+		return c
+	}
+	r16, err := run(16_000_000, 166_000)
+	if err != nil {
+		c.addf("16 Mbit baseline", "-", false, "error: %v", err)
+		return c
+	}
+	h74 := r4.Truth.H[measure.H7TxToRx]
+	h716 := r16.Truth.H[measure.H7TxToRx]
+	c.addf("CTMS rate on the 4 Mbit ring", "the paper's achievement",
+		sustainable(r4), "%.4f delivered, H7 min %.0f µs", r4.DeliveredFraction(), h74.Min())
+	c.addf("same stream on a 16 Mbit ring", "wire time 4x smaller",
+		sustainable(r16) && h716.Min() < h74.Min()-2500,
+		"%.4f delivered, H7 min %.0f µs", r16.DeliveredFraction(), h716.Min())
+
+	// Push both rings to a rate only the faster one can carry: 300 KB/s
+	// (3600-byte packets every 12 ms — 7.2 ms of wire time at 4 Mbit,
+	// already more than half the interval before any queueing).
+	p4, err := run(4_000_000, 300_000)
+	if err != nil {
+		c.addf("300 KB/s at 4 Mbit", "-", false, "error: %v", err)
+		return c
+	}
+	p16, err := run(16_000_000, 300_000)
+	if err != nil {
+		c.addf("300 KB/s at 16 Mbit", "-", false, "error: %v", err)
+		return c
+	}
+	c.addf("300 KB/s on the 4 Mbit ring", "beyond the prototype",
+		!sustainable(p4), "%.4f delivered, %d glitches", p4.DeliveredFraction(), p4.Playout.Glitches)
+	c.addf("300 KB/s on the 16 Mbit ring", "the title question's answer",
+		sustainable(p16), "%.4f delivered, %d glitches", p16.DeliveredFraction(), p16.Playout.Glitches)
+	c.Notes = append(c.Notes,
+		"the remaining bound is the adapter path (DMA + card firmware), not the wire:",
+		fmt.Sprintf("  16 Mbit H7 min %.0f µs of which only ≈%.0f µs is transmission", h716.Min(), 2021*8.0/16.0))
+	return c
+}

@@ -1,0 +1,251 @@
+package ctmsp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/kernel"
+	"repro/internal/ring"
+	"repro/internal/rtpc"
+	"repro/internal/sim"
+	"repro/internal/tradapter"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{DstDevice: 3, PacketNum: 123456, Length: 2000}
+	b := h.Encode()
+	if len(b) != HeaderSize {
+		t.Fatalf("encoded size %d", len(b))
+	}
+	got, err := DecodeHeader(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Fatalf("round trip: got %+v want %+v", got, h)
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(dev uint8, num uint32, length uint32) bool {
+		h := Header{DstDevice: dev, PacketNum: num, Length: length}
+		got, err := DecodeHeader(h.Encode())
+		return err == nil && got == h
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeHeader([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header should fail")
+	}
+	b := Header{}.Encode()
+	b[0] = 0xFF // break magic
+	if _, err := DecodeHeader(b); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	b = Header{}.Encode()
+	b[2] = 99 // break version
+	if _, err := DecodeHeader(b); err == nil {
+		t.Fatal("bad version should fail")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if !Classify(Header{}.Encode()) {
+		t.Fatal("CTMSP packet not recognized")
+	}
+	if Classify([]byte{0x08, 0x00, 0x45}) {
+		t.Fatal("IP packet misclassified as CTMSP")
+	}
+	if Classify([]byte{0xC7}) {
+		t.Fatal("one byte cannot classify")
+	}
+}
+
+func newConn(t *testing.T) (*sim.Scheduler, *kernel.Kernel, *Conn) {
+	t.Helper()
+	sched := sim.NewScheduler()
+	r := ring.New(sched, ring.DefaultConfig())
+	m := rtpc.NewMachine(sched, "tx", rtpc.DefaultCostModel(), 1)
+	k := kernel.New(m)
+	st := r.Attach("tx")
+	drv := tradapter.New(k, st, tradapter.DefaultConfig(), tradapter.DefaultTiming())
+	k.Register(drv)
+	dstSt := r.Attach("rx")
+	conn, err := Dial(k, drv, dstSt.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, k, conn
+}
+
+func TestDialPrecomputesHeaderOnce(t *testing.T) {
+	_, _, conn := newConn(t)
+	if len(conn.RingHeader()) != 22 {
+		t.Fatalf("ring header should be 22 bytes, got %d", len(conn.RingHeader()))
+	}
+}
+
+func TestBuildPacketNumbersSequentially(t *testing.T) {
+	_, k, conn := newConn(t)
+	for i := 0; i < 5; i++ {
+		p := conn.BuildPacket(1988, false, nil, nil)
+		if p == nil {
+			t.Fatal("alloc failed")
+		}
+		h := p.Chain.Tag.(Header)
+		if h.PacketNum != uint32(i) {
+			t.Fatalf("packet %d numbered %d", i, h.PacketNum)
+		}
+		if h.Length != 2000 {
+			t.Fatalf("packet length %d, want 2000", h.Length)
+		}
+		if p.Size != 2000 {
+			t.Fatalf("outgoing size %d", p.Size)
+		}
+		if p.Class != tradapter.ClassCTMSP {
+			t.Fatal("wrong class")
+		}
+		k.Pool.Free(p.Chain)
+	}
+	if conn.Stats().PacketsBuilt != 5 {
+		t.Fatalf("accounting: %+v", conn.Stats())
+	}
+}
+
+func TestBuildPacketCopyHeaderOnly(t *testing.T) {
+	_, k, conn := newConn(t)
+	full := conn.BuildPacket(1988, false, nil, nil)
+	hdr := conn.BuildPacket(1988, true, nil, nil)
+	if full.CopyBytes != 2000 {
+		t.Fatalf("full copy bytes %d", full.CopyBytes)
+	}
+	if hdr.CopyBytes != HeaderSize+22 {
+		t.Fatalf("header-only copy bytes %d", hdr.CopyBytes)
+	}
+	k.Pool.Free(full.Chain)
+	k.Pool.Free(hdr.Chain)
+}
+
+func TestBuildPacketMbufExhaustion(t *testing.T) {
+	sched := sim.NewScheduler()
+	r := ring.New(sched, ring.DefaultConfig())
+	m := rtpc.NewMachine(sched, "tx", rtpc.DefaultCostModel(), 1)
+	k := kernel.New(m)
+	k.Pool = kernel.NewPool(sched, 4, 1) // tiny pool
+	st := r.Attach("tx")
+	drv := tradapter.New(k, st, tradapter.DefaultConfig(), tradapter.DefaultTiming())
+	k.Register(drv)
+	conn, err := Dial(k, drv, r.Attach("rx").Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := conn.BuildPacket(1988, false, nil, nil); p != nil {
+		t.Fatal("tiny pool should fail the allocation")
+	}
+	if conn.Stats().MbufFailures != 1 {
+		t.Fatalf("failure accounting: %+v", conn.Stats())
+	}
+}
+
+func TestReceiverInOrder(t *testing.T) {
+	var r Receiver
+	var delivered []uint32
+	r.OnData = func(h Header, _ sim.Time) { delivered = append(delivered, h.PacketNum) }
+	for i := uint32(0); i < 10; i++ {
+		if ev := r.Accept(Header{PacketNum: i}, 0); ev != InOrder {
+			t.Fatalf("packet %d: %v", i, ev)
+		}
+	}
+	st := r.Stats()
+	if st.InOrder != 10 || st.Lost != 0 || st.Duplicates != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if len(delivered) != 10 {
+		t.Fatalf("delivered %d", len(delivered))
+	}
+}
+
+func TestReceiverGapAccounting(t *testing.T) {
+	var r Receiver
+	r.Accept(Header{PacketNum: 0}, 0)
+	r.Accept(Header{PacketNum: 1}, 0)
+	// Packets 2 and 3 lost to a purge burst.
+	if ev := r.Accept(Header{PacketNum: 4}, 0); ev != Gap {
+		t.Fatalf("want Gap, got %v", ev)
+	}
+	st := r.Stats()
+	if st.Lost != 2 || st.Gaps != 1 {
+		t.Fatalf("loss accounting: %+v", st)
+	}
+	// Stream continues normally after the gap.
+	if ev := r.Accept(Header{PacketNum: 5}, 0); ev != InOrder {
+		t.Fatalf("post-gap packet: %v", ev)
+	}
+}
+
+func TestReceiverDuplicateSuppression(t *testing.T) {
+	var r Receiver
+	delivered := 0
+	r.OnData = func(Header, sim.Time) { delivered++ }
+	r.Accept(Header{PacketNum: 0}, 0)
+	r.Accept(Header{PacketNum: 1}, 0)
+	if ev := r.Accept(Header{PacketNum: 1}, 0); ev != Duplicate {
+		t.Fatalf("want Duplicate, got %v", ev)
+	}
+	if delivered != 2 {
+		t.Fatalf("duplicate must not be delivered: %d", delivered)
+	}
+	if r.Stats().Duplicates != 1 {
+		t.Fatalf("stats: %+v", r.Stats())
+	}
+}
+
+func TestReceiverReorderDetection(t *testing.T) {
+	var r Receiver
+	r.Accept(Header{PacketNum: 5}, 0) // stream starts at 5
+	r.Accept(Header{PacketNum: 6}, 0)
+	r.Accept(Header{PacketNum: 7}, 0)
+	if ev := r.Accept(Header{PacketNum: 3}, 0); ev != Reordered {
+		t.Fatalf("ancient packet should be Reordered, got %v", ev)
+	}
+}
+
+func TestReceiverStartsAtFirstSeen(t *testing.T) {
+	var r Receiver
+	if ev := r.Accept(Header{PacketNum: 100}, 0); ev != InOrder {
+		t.Fatalf("first packet defines the origin: %v", ev)
+	}
+	if ev := r.Accept(Header{PacketNum: 101}, 0); ev != InOrder {
+		t.Fatalf("second packet: %v", ev)
+	}
+}
+
+// Property: for any loss pattern (subset of a sequential stream), the
+// receiver's Lost count equals the number of dropped packets.
+func TestReceiverLossAccountingProperty(t *testing.T) {
+	f := func(dropMask []bool) bool {
+		var r Receiver
+		var sent, dropped uint64
+		for i, drop := range dropMask {
+			sent++
+			if drop && i > 0 { // first packet must arrive to anchor the origin
+				dropped++
+				continue
+			}
+			r.Accept(Header{PacketNum: uint32(i)}, 0)
+		}
+		// Trailing drops are undetectable without a closing packet.
+		trailing := uint64(0)
+		for i := len(dropMask) - 1; i > 0 && dropMask[i]; i-- {
+			trailing++
+		}
+		return r.Stats().Lost == dropped-trailing
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,55 @@
+package dsp
+
+import "fmt"
+
+// Assembler builds programs with symbolic labels, the way the original
+// driver authors would have used the TI macro assembler.
+type Assembler struct {
+	prog   Program
+	labels map[string]int
+	fixups map[int]string
+	errs   []error
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{labels: make(map[string]int), fixups: make(map[int]string)}
+}
+
+// Label defines a branch target at the current position.
+func (a *Assembler) Label(name string) *Assembler {
+	if _, dup := a.labels[name]; dup {
+		a.errs = append(a.errs, fmt.Errorf("dsp: duplicate label %q", name))
+	}
+	a.labels[name] = len(a.prog)
+	return a
+}
+
+// Emit appends an instruction with a literal operand.
+func (a *Assembler) Emit(op Op, arg uint16) *Assembler {
+	a.prog = append(a.prog, Instr{Op: op, Arg: arg})
+	return a
+}
+
+// Branch appends a branch instruction targeting a label.
+func (a *Assembler) Branch(op Op, label string) *Assembler {
+	a.fixups[len(a.prog)] = label
+	a.prog = append(a.prog, Instr{Op: op})
+	return a
+}
+
+// Assemble resolves labels and returns the program.
+func (a *Assembler) Assemble() (Program, error) {
+	for pos, label := range a.fixups {
+		target, ok := a.labels[label]
+		if !ok {
+			a.errs = append(a.errs, fmt.Errorf("dsp: undefined label %q", label))
+			continue
+		}
+		a.prog[pos].Arg = uint16(target)
+	}
+	if len(a.errs) > 0 {
+		return nil, a.errs[0]
+	}
+	return a.prog, nil
+}

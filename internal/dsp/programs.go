@@ -1,0 +1,148 @@
+package dsp
+
+import "fmt"
+
+// Data-memory layout for the µ-law encoder microprogram.
+const (
+	cellCount = 0  // sample count, poked by the host
+	cellSign  = 1  // scratch: sign bit of the current sample
+	cellS     = 2  // scratch: magnitude
+	cellClip  = 3  // constant 0x7F7B
+	cellBias  = 4  // constant 132
+	cellFF    = 5  // constant 0x00FF
+	cellMax   = 6  // constant 0x7FFF
+	cellMask0 = 8  // constants 0x4000 >> n for n = 0..6
+	cellByte  = 15 // scratch: assembled µ-law byte
+)
+
+// MuLawProgram assembles the on-adapter compression program footnote 3
+// alludes to: read linear PCM words from the input port, emit µ-law
+// bytes on the output port, one per sample, until the host-poked count
+// is exhausted.
+func MuLawProgram() (Program, error) {
+	a := NewAssembler()
+
+	a.Label("start")
+	a.Emit(OpLAC, cellCount)
+	a.Branch(OpBZ, "end")
+	a.Emit(OpSUBK, 1)
+	a.Emit(OpSAC, cellCount)
+
+	// acc = next sample.
+	a.Emit(OpIN, 0)
+	a.Branch(OpBGEZ, "positive")
+	// Negative: sign = 0x80, s = -sample; -32768 needs clamping since
+	// its negation overflows.
+	a.Emit(OpNEG, 0)
+	a.Branch(OpBGEZ, "negStored")
+	a.Emit(OpLAC, cellMax) // s = 0x7FFF
+	a.Label("negStored")
+	a.Emit(OpSAC, cellS)
+	a.Emit(OpLACK, 0x80)
+	a.Emit(OpSAC, cellSign)
+	a.Branch(OpB, "clip")
+
+	a.Label("positive")
+	a.Emit(OpSAC, cellS)
+	a.Emit(OpLACK, 0)
+	a.Emit(OpSAC, cellSign)
+
+	// if s > clip: s = clip. (s - clip has the sign bit clear iff
+	// s ≥ clip; both fit in 15 bits here.)
+	a.Label("clip")
+	a.Emit(OpLAC, cellS)
+	a.Emit(OpSUB, cellClip)
+	a.Branch(OpBGEZ, "doClip")
+	a.Branch(OpB, "bias")
+	a.Label("doClip")
+	a.Emit(OpLAC, cellClip)
+	a.Emit(OpSAC, cellS)
+
+	// s += bias.
+	a.Label("bias")
+	a.Emit(OpLAC, cellS)
+	a.Emit(OpADD, cellBias)
+	a.Emit(OpSAC, cellS)
+
+	// Exponent search, unrolled: test 0x4000, 0x2000, ... 0x0100.
+	// For exponent e the mantissa is (s >> (e+3)) & 0xF.
+	for e := 7; e >= 1; e-- {
+		a.Emit(OpLAC, cellS)
+		a.Emit(OpAND, uint16(cellMask0+7-e))
+		a.Branch(OpBNZ, fmt.Sprintf("exp%d", e))
+	}
+	// exponent 0
+	a.Emit(OpLAC, cellS)
+	a.Emit(OpSHR, 3)
+	a.Emit(OpSAC, cellByte)
+	a.Branch(OpB, "combine0")
+
+	for e := 7; e >= 1; e-- {
+		a.Label(fmt.Sprintf("exp%d", e))
+		a.Emit(OpLAC, cellS)
+		a.Emit(OpSHR, uint16(e+3))
+		a.Emit(OpSAC, cellByte)
+		a.Emit(OpLACK, uint16(e)<<4)
+		a.Branch(OpB, "combine")
+	}
+
+	a.Label("combine0")
+	a.Emit(OpLACK, 0) // exponent field 0
+
+	// acc holds exp<<4; byte = ^(sign | exp<<4 | (mantissa & 0xF)).
+	a.Label("combine")
+	a.Emit(OpSAC, cellS) // reuse cellS for the exponent field
+	a.Emit(OpLAC, cellByte)
+	a.Emit(OpAND, cellNibble)
+	a.Emit(OpOR, cellS)
+	a.Emit(OpOR, cellSign)
+	a.Emit(OpXOR, cellFF) // complement the low byte
+	a.Emit(OpOUT, 0)
+	a.Branch(OpB, "start")
+
+	a.Label("end")
+	a.Emit(OpHALT, 0)
+	return a.Assemble()
+}
+
+// cellNibble holds the 0x000F mantissa mask.
+const cellNibble = 7
+
+// LoadMuLawConstants pokes the encoder's constant pool into a VM.
+func LoadMuLawConstants(v *VM, sampleCount int) {
+	v.Poke(cellCount, uint16(sampleCount))
+	v.Poke(cellClip, muLawClip)
+	v.Poke(cellBias, muLawBias)
+	v.Poke(cellFF, 0x00FF)
+	v.Poke(cellMax, 0x7FFF)
+	v.Poke(cellNibble, 0x000F)
+	for i := 0; i < 7; i++ {
+		v.Poke(cellMask0+i, uint16(0x4000)>>uint(i))
+	}
+}
+
+// CompressMuLaw runs the microprogram over linear PCM samples and
+// returns the µ-law bytes plus the DSP time it took.
+func CompressMuLaw(samples []int16) ([]uint8, uint64, error) {
+	prog, err := MuLawProgram()
+	if err != nil {
+		return nil, 0, err
+	}
+	vm := New(prog)
+	LoadMuLawConstants(vm, len(samples))
+	in := make([]uint16, len(samples))
+	for i, s := range samples {
+		in[i] = uint16(s)
+	}
+	vm.SetInput(in)
+	// ~40 instructions per sample; allow generous headroom.
+	if err := vm.Run(uint64(len(samples)+1)*200 + 100); err != nil {
+		return nil, 0, err
+	}
+	out := vm.Output()
+	bs := make([]uint8, len(out))
+	for i, w := range out {
+		bs[i] = uint8(w)
+	}
+	return bs, vm.ElapsedNanos(), nil
+}

@@ -1,0 +1,270 @@
+// Package dsp models the signal processor on the paper's audio adapters:
+// the VCA's TI32010 (§5.1: "a TI32010 DSP, 2k by 16 bit memory") and the
+// Audio Capture and Playback Adapter's TI32025, which footnote 3 notes
+// was expected to compress audio "in software on the adapter" before the
+// data crossed the byte-wide host interface.
+//
+// The model is a small 16-bit accumulator machine with the instruction
+// flavor of the first-generation TMS320 family: an accumulator, a 2K-word
+// data memory, direct and immediate addressing, shifts, branches, and IN/
+// OUT ports. Cycle counts use the TMS32010's 200 ns instruction time, so
+// a program's execution time is physically meaningful — the package can
+// verify, for instance, that a 12 ms interrupt loop is 60 000 cycles.
+//
+// A real G.711 µ-law compressor written in this instruction set ships in
+// programs.go, and the tests verify it against the Go reference encoder
+// bit-for-bit.
+package dsp
+
+import "fmt"
+
+// Machine geometry (TMS32010-class).
+const (
+	// DataWords is the data memory size: "2k by 16 bit".
+	DataWords = 2048
+	// CycleNanos is the instruction cycle time at 20 MHz / 4 states.
+	CycleNanos = 200
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+const (
+	// OpHALT stops the program.
+	OpHALT Op = iota
+	// OpLAC loads the accumulator from data memory.
+	OpLAC
+	// OpLACK loads an immediate constant (0..255).
+	OpLACK
+	// OpSAC stores the accumulator to data memory.
+	OpSAC
+	// OpADD adds a data-memory word to the accumulator.
+	OpADD
+	// OpADDK adds an immediate constant.
+	OpADDK
+	// OpSUB subtracts a data-memory word.
+	OpSUB
+	// OpSUBK subtracts an immediate constant.
+	OpSUBK
+	// OpAND masks the accumulator with a data-memory word.
+	OpAND
+	// OpOR ors a data-memory word into the accumulator.
+	OpOR
+	// OpXOR xors a data-memory word into the accumulator.
+	OpXOR
+	// OpSHL shifts the accumulator left by the operand count.
+	OpSHL
+	// OpSHR shifts the accumulator right (logical) by the operand count.
+	OpSHR
+	// OpB branches unconditionally to the operand address.
+	OpB
+	// OpBZ branches if the accumulator is zero.
+	OpBZ
+	// OpBNZ branches if the accumulator is nonzero.
+	OpBNZ
+	// OpBGEZ branches if the accumulator's sign bit is clear.
+	OpBGEZ
+	// OpIN reads the next word from the input port into the accumulator.
+	OpIN
+	// OpOUT writes the accumulator to the output port.
+	OpOUT
+	// OpNEG negates the accumulator (two's complement).
+	OpNEG
+	numOps
+)
+
+var opNames = [numOps]string{
+	"HALT", "LAC", "LACK", "SAC", "ADD", "ADDK", "SUB", "SUBK",
+	"AND", "OR", "XOR", "SHL", "SHR", "B", "BZ", "BNZ", "BGEZ",
+	"IN", "OUT", "NEG",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Instr is one instruction: an opcode and a 16-bit operand (a data
+// address, immediate value, shift count or branch target depending on the
+// opcode).
+type Instr struct {
+	Op  Op
+	Arg uint16
+}
+
+// Program is an assembled instruction sequence.
+type Program []Instr
+
+// VM is the processor state.
+type VM struct {
+	prog   Program
+	pc     int
+	acc    uint16
+	data   [DataWords]uint16
+	in     []uint16
+	inPos  int
+	out    []uint16
+	cycles uint64
+	halted bool
+}
+
+// New creates a VM for a program.
+func New(prog Program) *VM {
+	return &VM{prog: prog}
+}
+
+// SetInput provides the IN port's word stream.
+func (v *VM) SetInput(words []uint16) { v.in = words; v.inPos = 0 }
+
+// Output returns everything written to the OUT port.
+func (v *VM) Output() []uint16 { return v.out }
+
+// Cycles reports executed instruction cycles.
+func (v *VM) Cycles() uint64 { return v.cycles }
+
+// ElapsedNanos reports the program's execution time on real silicon.
+func (v *VM) ElapsedNanos() uint64 { return v.cycles * CycleNanos }
+
+// Halted reports whether the program has executed HALT.
+func (v *VM) Halted() bool { return v.halted }
+
+// Poke writes a data-memory word (host access to the 2K×16 memory — the
+// byte-wide interface the paper describes is the kernel driver's view).
+func (v *VM) Poke(addr int, val uint16) {
+	if addr >= 0 && addr < DataWords {
+		v.data[addr] = val
+	}
+}
+
+// Peek reads a data-memory word.
+func (v *VM) Peek(addr int) uint16 {
+	if addr >= 0 && addr < DataWords {
+		return v.data[addr]
+	}
+	return 0
+}
+
+// Step executes one instruction. It reports false once halted.
+func (v *VM) Step() (bool, error) {
+	if v.halted {
+		return false, nil
+	}
+	if v.pc < 0 || v.pc >= len(v.prog) {
+		return false, fmt.Errorf("dsp: pc %d out of program (len %d)", v.pc, len(v.prog))
+	}
+	ins := v.prog[v.pc]
+	v.pc++
+	v.cycles++
+
+	mem := func() (uint16, error) {
+		if int(ins.Arg) >= DataWords {
+			return 0, fmt.Errorf("dsp: %v: data address %d out of range", ins.Op, ins.Arg)
+		}
+		return v.data[ins.Arg], nil
+	}
+
+	switch ins.Op {
+	case OpHALT:
+		v.halted = true
+		return false, nil
+	case OpLAC:
+		m, err := mem()
+		if err != nil {
+			return false, err
+		}
+		v.acc = m
+	case OpLACK:
+		v.acc = ins.Arg & 0xFF
+	case OpSAC:
+		if int(ins.Arg) >= DataWords {
+			return false, fmt.Errorf("dsp: SAC address %d out of range", ins.Arg)
+		}
+		v.data[ins.Arg] = v.acc
+	case OpADD:
+		m, err := mem()
+		if err != nil {
+			return false, err
+		}
+		v.acc += m
+	case OpADDK:
+		v.acc += ins.Arg & 0xFF
+	case OpSUB:
+		m, err := mem()
+		if err != nil {
+			return false, err
+		}
+		v.acc -= m
+	case OpSUBK:
+		v.acc -= ins.Arg & 0xFF
+	case OpAND:
+		m, err := mem()
+		if err != nil {
+			return false, err
+		}
+		v.acc &= m
+	case OpOR:
+		m, err := mem()
+		if err != nil {
+			return false, err
+		}
+		v.acc |= m
+	case OpXOR:
+		m, err := mem()
+		if err != nil {
+			return false, err
+		}
+		v.acc ^= m
+	case OpSHL:
+		v.acc <<= ins.Arg & 0xF
+	case OpSHR:
+		v.acc >>= ins.Arg & 0xF
+	case OpNEG:
+		v.acc = -v.acc
+	case OpB:
+		v.pc = int(ins.Arg)
+		v.cycles++ // branches take an extra cycle
+	case OpBZ:
+		if v.acc == 0 {
+			v.pc = int(ins.Arg)
+			v.cycles++
+		}
+	case OpBNZ:
+		if v.acc != 0 {
+			v.pc = int(ins.Arg)
+			v.cycles++
+		}
+	case OpBGEZ:
+		if v.acc&0x8000 == 0 {
+			v.pc = int(ins.Arg)
+			v.cycles++
+		}
+	case OpIN:
+		if v.inPos >= len(v.in) {
+			v.acc = 0xFFFF // empty FIFO reads all-ones
+		} else {
+			v.acc = v.in[v.inPos]
+			v.inPos++
+		}
+	case OpOUT:
+		v.out = append(v.out, v.acc)
+	default:
+		return false, fmt.Errorf("dsp: illegal opcode %d at pc %d", ins.Op, v.pc-1)
+	}
+	return true, nil
+}
+
+// Run executes until HALT or the cycle budget is exhausted.
+func (v *VM) Run(maxCycles uint64) error {
+	for v.cycles < maxCycles {
+		ok, err := v.Step()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+	}
+	return fmt.Errorf("dsp: cycle budget %d exhausted at pc %d", maxCycles, v.pc)
+}

@@ -1,0 +1,100 @@
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/rtpc"
+	"repro/internal/sim"
+)
+
+// Interrupt levels used by the model, highest first. These mirror the
+// BSD spl hierarchy closely enough for the latency interactions that
+// matter: the clock above the network, the network above the disk, and
+// everything above base (process) level.
+const (
+	LevelClock   = 7
+	LevelVCA     = 6
+	LevelNet     = 5
+	LevelDisk    = 3
+	LevelSoftNet = 2
+	LevelBase    = 0
+)
+
+// Costs are the kernel path constants (syscall entry/exit, context
+// switch, wakeup) used by the user-process model.
+type Costs struct {
+	SyscallEntry  sim.Time
+	SyscallExit   sim.Time
+	ContextSwitch sim.Time
+	WakeupLatency sim.Time
+	// UserChunk is the segment size user-level compute is sliced into;
+	// user code is preemptible, so its segments are short.
+	UserChunk sim.Time
+}
+
+// DefaultCosts returns plausible 1990-class BSD costs.
+func DefaultCosts() Costs {
+	return Costs{
+		SyscallEntry:  60 * sim.Microsecond,
+		SyscallExit:   40 * sim.Microsecond,
+		ContextSwitch: 250 * sim.Microsecond,
+		WakeupLatency: 120 * sim.Microsecond,
+		UserChunk:     200 * sim.Microsecond,
+	}
+}
+
+// Driver is a device driver registered with the kernel. Drivers expose
+// ioctls; the paper's driver-to-driver wiring is done through new ioctl
+// commands that exchange function handles.
+type Driver interface {
+	DriverName() string
+	Ioctl(cmd string, arg any) (any, error)
+}
+
+// Kernel ties one machine's kernel state together.
+type Kernel struct {
+	Machine *rtpc.Machine
+	Pool    *Pool
+	Costs   Costs
+
+	drivers map[string]Driver
+	procs   []*Proc
+}
+
+// New builds a kernel for a machine with default costs and pool sizing.
+func New(m *rtpc.Machine) *Kernel {
+	return &Kernel{
+		Machine: m,
+		Pool:    NewPool(m.Scheduler(), 0, 0),
+		Costs:   DefaultCosts(),
+		drivers: make(map[string]Driver),
+	}
+}
+
+// Register attaches a driver. Registering two drivers with the same name
+// is a configuration bug and panics.
+func (k *Kernel) Register(d Driver) {
+	name := d.DriverName()
+	sim.Checkf(k.drivers[name] == nil, "driver %q registered twice", name)
+	k.drivers[name] = d
+}
+
+// Driver looks up a registered driver.
+func (k *Kernel) Driver(name string) Driver { return k.drivers[name] }
+
+// Ioctl dispatches an ioctl to a named driver. It models the syscall as
+// free (all the paper's ioctls are one-time connection setup, off the
+// measured path).
+func (k *Kernel) Ioctl(driver, cmd string, arg any) (any, error) {
+	d := k.drivers[driver]
+	if d == nil {
+		return nil, fmt.Errorf("kernel: ioctl on unknown driver %q", driver)
+	}
+	return d.Ioctl(cmd, arg)
+}
+
+// Sched exposes the scheduler.
+func (k *Kernel) Sched() *sim.Scheduler { return k.Machine.Scheduler() }
+
+// CPU exposes the machine's CPU.
+func (k *Kernel) CPU() *rtpc.CPU { return k.Machine.CPU }

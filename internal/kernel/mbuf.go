@@ -1,0 +1,249 @@
+// Package kernel models the pieces of the AOS 4.3 (BSD) kernel the paper's
+// data path runs through: the mbuf buffer pool (whose allocation can stall
+// "an arbitrarily long time" when exhausted, §2), a device-driver and ioctl
+// framework (the paper adds new ioctls to wire drivers directly together),
+// and a user-process model with syscall and context-switch costs — the
+// stock transfer path the paper shows cannot sustain 150 KB/s.
+package kernel
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// BSD 4.3 buffer geometry.
+const (
+	// MbufDataSize is the payload capacity of a small mbuf.
+	MbufDataSize = 112
+	// ClusterSize is the payload capacity of a cluster mbuf.
+	ClusterSize = 1024
+	// clusterThreshold is the size above which the allocator uses
+	// clusters, as m_get/m_getclr logic did.
+	clusterThreshold = 256
+)
+
+// Mbuf is one buffer in a chain.
+type Mbuf struct {
+	Len     int
+	Cluster bool
+	Next    *Mbuf
+}
+
+// Cap reports the mbuf's payload capacity.
+func (m *Mbuf) Cap() int {
+	if m.Cluster {
+		return ClusterSize
+	}
+	return MbufDataSize
+}
+
+// Chain is a linked list of mbufs holding one packet.
+type Chain struct {
+	Head *Mbuf
+	// Tag carries the model payload riding in the chain (a protocol
+	// packet, stream bytes, ...).
+	Tag any
+}
+
+// Len reports the total payload bytes in the chain.
+func (c *Chain) Len() int {
+	n := 0
+	for m := c.Head; m != nil; m = m.Next {
+		n += m.Len
+	}
+	return n
+}
+
+// Mbufs reports the number of mbufs in the chain.
+func (c *Chain) Mbufs() int {
+	n := 0
+	for m := c.Head; m != nil; m = m.Next {
+		n++
+	}
+	return n
+}
+
+// Clusters reports how many of the chain's mbufs are clusters.
+func (c *Chain) Clusters() int {
+	n := 0
+	for m := c.Head; m != nil; m = m.Next {
+		if m.Cluster {
+			n++
+		}
+	}
+	return n
+}
+
+// PoolStats aggregates allocator accounting.
+type PoolStats struct {
+	Allocs        uint64
+	Frees         uint64
+	Failures      uint64 // AllocNoWait with an exhausted pool
+	Waits         uint64 // blocking allocations that had to sleep
+	SmallInUse    int
+	ClustersInUse int
+	SmallHigh     int
+	ClustersHigh  int
+}
+
+// Pool is the kernel's shared mbuf pool. Interrupt-level code uses
+// AllocNoWait (drops on exhaustion); process-level code uses Alloc, which
+// sleeps until buffers return — the unbounded delay §2 warns about.
+type Pool struct {
+	sched         *sim.Scheduler
+	smallCap      int
+	clusterCap    int
+	smallInUse    int
+	clustersInUse int
+	waiters       []*waiter
+	stats         PoolStats
+}
+
+type waiter struct {
+	small, clusters int
+	fn              func(*Chain)
+	size            int
+}
+
+// NewPool builds a pool with the given capacities. The defaults (0,0)
+// give a generously provisioned pool (4096 small, 1024 clusters).
+func NewPool(sched *sim.Scheduler, smallCap, clusterCap int) *Pool {
+	if smallCap <= 0 {
+		smallCap = 4096
+	}
+	if clusterCap <= 0 {
+		clusterCap = 1024
+	}
+	return &Pool{sched: sched, smallCap: smallCap, clusterCap: clusterCap}
+}
+
+// Stats returns a snapshot of allocator accounting.
+func (p *Pool) Stats() PoolStats {
+	s := p.stats
+	s.SmallInUse = p.smallInUse
+	s.ClustersInUse = p.clustersInUse
+	return s
+}
+
+// need computes the mbuf shape for n payload bytes.
+func need(n int) (small, clusters int) {
+	if n <= 0 {
+		return 1, 0
+	}
+	if n <= clusterThreshold {
+		small = (n + MbufDataSize - 1) / MbufDataSize
+		return small, 0
+	}
+	clusters = n / ClusterSize
+	rem := n - clusters*ClusterSize
+	if rem > clusterThreshold {
+		clusters++
+	} else if rem > 0 {
+		small = (rem + MbufDataSize - 1) / MbufDataSize
+	}
+	return small, clusters
+}
+
+func (p *Pool) available(small, clusters int) bool {
+	return p.smallInUse+small <= p.smallCap && p.clustersInUse+clusters <= p.clusterCap
+}
+
+func (p *Pool) build(small, clusters, n int) *Chain {
+	p.smallInUse += small
+	p.clustersInUse += clusters
+	if p.smallInUse > p.stats.SmallHigh {
+		p.stats.SmallHigh = p.smallInUse
+	}
+	if p.clustersInUse > p.stats.ClustersHigh {
+		p.stats.ClustersHigh = p.clustersInUse
+	}
+	p.stats.Allocs++
+
+	var head, tail *Mbuf
+	left := n
+	link := func(m *Mbuf) {
+		if head == nil {
+			head = m
+		} else {
+			tail.Next = m
+		}
+		tail = m
+	}
+	for i := 0; i < clusters; i++ {
+		l := ClusterSize
+		if left < l {
+			l = left
+		}
+		left -= l
+		link(&Mbuf{Len: l, Cluster: true})
+	}
+	for i := 0; i < small; i++ {
+		l := MbufDataSize
+		if left < l {
+			l = left
+		}
+		left -= l
+		link(&Mbuf{Len: l})
+	}
+	sim.Checkf(head != nil, "empty chain built for %d bytes", n)
+	return &Chain{Head: head}
+}
+
+// AllocNoWait allocates a chain for n payload bytes, or returns nil if the
+// pool is exhausted — the interrupt-time contract.
+func (p *Pool) AllocNoWait(n int) *Chain {
+	small, clusters := need(n)
+	if !p.available(small, clusters) {
+		p.stats.Failures++
+		return nil
+	}
+	return p.build(small, clusters, n)
+}
+
+// Alloc allocates a chain for n payload bytes, calling fn when the
+// allocation succeeds. If the pool is exhausted, the caller sleeps until
+// a Free makes room (FIFO order).
+func (p *Pool) Alloc(n int, fn func(*Chain)) {
+	small, clusters := need(n)
+	if p.available(small, clusters) && len(p.waiters) == 0 {
+		fn(p.build(small, clusters, n))
+		return
+	}
+	p.stats.Waits++
+	p.waiters = append(p.waiters, &waiter{small: small, clusters: clusters, fn: fn, size: n})
+}
+
+// Free returns a chain's buffers to the pool and wakes eligible waiters.
+func (p *Pool) Free(c *Chain) {
+	if c == nil || c.Head == nil {
+		return
+	}
+	for m := c.Head; m != nil; m = m.Next {
+		if m.Cluster {
+			p.clustersInUse--
+		} else {
+			p.smallInUse--
+		}
+	}
+	c.Head = nil
+	p.stats.Frees++
+	sim.Checkf(p.smallInUse >= 0 && p.clustersInUse >= 0, "mbuf pool underflow")
+
+	for len(p.waiters) > 0 {
+		w := p.waiters[0]
+		if !p.available(w.small, w.clusters) {
+			break
+		}
+		p.waiters = p.waiters[1:]
+		ch := p.build(w.small, w.clusters, w.size)
+		// Wakeup is asynchronous, as in the real kernel.
+		p.sched.After(0, "mbuf.wakeup", func() { w.fn(ch) })
+	}
+}
+
+// String summarizes pool state.
+func (p *Pool) String() string {
+	return fmt.Sprintf("mbufpool{small=%d/%d clusters=%d/%d waiters=%d}",
+		p.smallInUse, p.smallCap, p.clustersInUse, p.clusterCap, len(p.waiters))
+}

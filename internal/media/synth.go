@@ -1,0 +1,120 @@
+package media
+
+import (
+	"encoding/binary"
+	"math"
+
+	"repro/internal/dsp"
+	"repro/internal/sim"
+)
+
+// Synthesizers for test and example content. Everything is deterministic
+// (pure functions of their arguments) so content survives byte-exact
+// comparison across the transport.
+
+// SineSamples generates 16-bit PCM of a sine at freq Hz sampled at
+// rate Hz for the given duration.
+func SineSamples(freq float64, rate int, duration sim.Time) []int16 {
+	n := int(float64(rate) * duration.Seconds())
+	out := make([]int16, n)
+	for i := range out {
+		out[i] = int16(20000 * math.Sin(2*math.Pi*freq*float64(i)/float64(rate)))
+	}
+	return out
+}
+
+// PCMBytes packs samples little-endian.
+func PCMBytes(samples []int16) []byte {
+	out := make([]byte, 2*len(samples))
+	for i, s := range samples {
+		binary.LittleEndian.PutUint16(out[2*i:], uint16(s))
+	}
+	return out
+}
+
+// PCMSamples unpacks little-endian PCM bytes.
+func PCMSamples(b []byte) []int16 {
+	out := make([]int16, len(b)/2)
+	for i := range out {
+		out[i] = int16(binary.LittleEndian.Uint16(b[2*i:]))
+	}
+	return out
+}
+
+// CDAudioTrack builds a stereo CD-quality PCM track (44.1 kHz × 16 bit ×
+// 2 ch = 176 400 B/s) of a test tone, chunked every chunkDur.
+func CDAudioTrack(id uint8, duration, chunkDur sim.Time) (Track, []Chunk) {
+	const rate = 44100
+	left := SineSamples(440, rate, duration)
+	right := SineSamples(554.37, rate, duration) // a major third up
+	inter := make([]int16, 0, 2*len(left))
+	for i := range left {
+		inter = append(inter, left[i], right[i])
+	}
+	t := Track{ID: id, Kind: KindPCMAudio, Rate: rate * 4}
+	return t, chunkBytes(id, PCMBytes(inter), rate*4, chunkDur)
+}
+
+// VoiceTrack builds an 8 kHz µ-law voice track (8000 B/s) compressed by
+// the DSP microprogram — the adapter-side compression of footnote 3.
+func VoiceTrack(id uint8, duration, chunkDur sim.Time) (Track, []Chunk, error) {
+	const rate = 8000
+	pcm := SineSamples(220, rate, duration)
+	mulaw, _, err := dsp.CompressMuLaw(pcm)
+	if err != nil {
+		return Track{}, nil, err
+	}
+	t := Track{ID: id, Kind: KindMuLawAudio, Rate: rate}
+	return t, chunkBytes(id, mulaw, rate, chunkDur), nil
+}
+
+// VideoTrack builds a synthetic compressed-video track: one frame per
+// tick at frameRate, with deterministic pseudo-compressed payloads whose
+// sizes vary the way inter/intra coded frames do (a large "key frame"
+// every keyInterval frames). averageRate is the target bytes/second.
+func VideoTrack(id uint8, frameRate int, averageRate uint32, duration sim.Time, keyInterval int) (Track, []Chunk) {
+	nFrames := int(float64(frameRate) * duration.Seconds())
+	avgFrame := int(averageRate) / frameRate
+	// Key frames are 4× the delta-frame size; choose the delta size so
+	// the long-run average equals the declared rate:
+	// (4d + (k−1)d)/k = avg  ⇒  d = avg·k/(k+3).
+	delta := avgFrame
+	if keyInterval > 1 {
+		delta = avgFrame * keyInterval / (keyInterval + 3)
+	}
+	var chunks []Chunk
+	state := uint32(id) | 0x9E3779B9
+	for f := 0; f < nFrames; f++ {
+		size := delta
+		if keyInterval > 0 && f%keyInterval == 0 {
+			size = delta * 4
+		}
+		data := make([]byte, size)
+		for i := range data {
+			state = state*1664525 + 1013904223
+			data[i] = byte(state >> 24)
+		}
+		ts := uint64(f) * 1_000_000 / uint64(frameRate)
+		chunks = append(chunks, Chunk{Track: id, TimestampMicros: ts, Data: data})
+	}
+	return Track{ID: id, Kind: KindVideo, Rate: averageRate}, chunks
+}
+
+// chunkBytes splits a byte stream into chunks of chunkDur at the track
+// rate, timestamped at their presentation offsets.
+func chunkBytes(id uint8, data []byte, rate uint32, chunkDur sim.Time) []Chunk {
+	per := int(float64(rate) * chunkDur.Seconds())
+	if per < 1 {
+		per = 1
+	}
+	var chunks []Chunk
+	for off := 0; off < len(data); off += per {
+		end := off + per
+		if end > len(data) {
+			end = len(data)
+		}
+		ts := uint64(float64(off) / float64(rate) * 1e6)
+		chunks = append(chunks, Chunk{Track: id, TimestampMicros: ts, Data: data[off:end]})
+	}
+	return chunks
+}

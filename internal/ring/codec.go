@@ -1,0 +1,113 @@
+package ring
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+)
+
+// Wire format of an IEEE 802.5 frame as this package encodes it. The
+// start/end delimiters are symbol-level constructs; here they are
+// represented as single bytes so a captured frame is self-describing.
+//
+//	SD AC FC | DA(2) SA(2) | INFO... | FCS(4) | ED FS
+//
+// Real Token Ring used 6-byte MAC addresses; the model's address space is
+// 16-bit station numbers, so DA/SA are 2 bytes (documented divergence —
+// it does not affect any timing the paper measures, and sizes on the wire
+// are accounted separately via Frame.Size).
+const (
+	sdByte = 0xAB // JK0JK000 symbol pattern stand-in
+	edByte = 0xDE // JK1JK1IE stand-in
+
+	// WireHeaderSize is SD+AC+FC+DA+SA.
+	WireHeaderSize = 7
+	// WireTrailerSize is FCS+ED+FS.
+	WireTrailerSize = 6
+	// WireOverhead is total framing around the INFO field.
+	WireOverhead = WireHeaderSize + WireTrailerSize
+)
+
+// EncodeFrame serializes a frame's header/trailer around the given INFO
+// bytes, computing a real CRC-32 FCS over AC..INFO as 802.5 does.
+func EncodeFrame(f *Frame, info []byte) []byte {
+	out := make([]byte, 0, WireOverhead+len(info))
+	out = append(out, sdByte, f.AC, f.FC)
+	var addr [4]byte
+	binary.BigEndian.PutUint16(addr[0:], uint16(f.Dst))
+	binary.BigEndian.PutUint16(addr[2:], uint16(f.Src))
+	out = append(out, addr[:]...)
+	out = append(out, info...)
+	fcs := crc32.ChecksumIEEE(out[1:]) // AC through INFO
+	var fcsb [4]byte
+	binary.BigEndian.PutUint32(fcsb[:], fcs)
+	out = append(out, fcsb[:]...)
+	// FS carries the A (address recognized) and C (frame copied) bits,
+	// zero at transmission; the destination sets them as the frame
+	// passes.
+	out = append(out, edByte, 0x00)
+	return out
+}
+
+// DecodedFrame is the result of parsing a wire capture.
+type DecodedFrame struct {
+	AC, FC   byte
+	Dst, Src Addr
+	Info     []byte
+	// A and C are the frame-status bits the transmitter reads when the
+	// frame returns.
+	A, C bool
+}
+
+// SetStatus sets the A/C bits in an encoded frame in place, as the
+// destination adapter does while repeating the frame.
+func SetStatus(wire []byte, addrRecognized, frameCopied bool) error {
+	if len(wire) < WireOverhead {
+		return fmt.Errorf("ring: frame too short for status bits")
+	}
+	var fs byte
+	if addrRecognized {
+		fs |= 0x88 // A bits are duplicated in 802.5's FS byte
+	}
+	if frameCopied {
+		fs |= 0x44 // C bits likewise
+	}
+	wire[len(wire)-1] = fs
+	return nil
+}
+
+// DecodeFrame parses and validates a wire capture produced by
+// EncodeFrame, verifying the FCS.
+func DecodeFrame(wire []byte) (*DecodedFrame, error) {
+	if len(wire) < WireOverhead {
+		return nil, fmt.Errorf("ring: frame too short: %d bytes", len(wire))
+	}
+	if wire[0] != sdByte {
+		return nil, fmt.Errorf("ring: bad start delimiter %#x", wire[0])
+	}
+	if wire[len(wire)-2] != edByte {
+		return nil, fmt.Errorf("ring: bad end delimiter %#x", wire[len(wire)-2])
+	}
+	body := wire[1 : len(wire)-6] // AC..INFO
+	want := binary.BigEndian.Uint32(wire[len(wire)-6 : len(wire)-2])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("ring: FCS mismatch: got %#x want %#x", got, want)
+	}
+	fs := wire[len(wire)-1]
+	d := &DecodedFrame{
+		AC:  wire[1],
+		FC:  wire[2],
+		Dst: Addr(binary.BigEndian.Uint16(wire[3:5])),
+		Src: Addr(binary.BigEndian.Uint16(wire[5:7])),
+		A:   fs&0x88 != 0,
+		C:   fs&0x44 != 0,
+	}
+	d.Info = append(d.Info, wire[7:len(wire)-6]...)
+	return d, nil
+}
+
+// Priority extracts the access priority from an AC byte.
+func Priority(ac byte) int { return int(ac & 0x7) }
+
+// IsToken reports whether an AC byte marks a free token.
+func IsToken(ac byte) bool { return ac&0x10 != 0 }

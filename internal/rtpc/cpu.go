@@ -1,0 +1,266 @@
+package rtpc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// NumLevels is the number of interrupt priority levels. Level 0 is base
+// (user and ordinary kernel) level; higher levels preempt lower ones at
+// segment boundaries.
+const NumLevels = 8
+
+// Seg is one uninterruptible stretch of code: the CPU cannot be preempted
+// inside a segment, only between segments. The longest segment in the
+// system therefore bounds worst-case interrupt dispatch latency — exactly
+// the paper's "execution of protected code segments" jitter source.
+//
+// Fn runs when the segment's cost has elapsed. It may return further
+// segments, which are executed (in order) before the task's remaining
+// segments; this lets handlers make data-dependent decisions.
+type Seg struct {
+	Name string
+	Cost sim.Time
+	Fn   func() []Seg
+}
+
+// Do builds a segment with just a cost.
+func Do(name string, cost sim.Time) Seg { return Seg{Name: name, Cost: cost} }
+
+// Then builds a segment with a cost and a completion action.
+func Then(name string, cost sim.Time, fn func()) Seg {
+	return Seg{Name: name, Cost: cost, Fn: func() []Seg { fn(); return nil }}
+}
+
+// Mark builds a zero-cost probe segment; fn observes the instant between
+// two segments (used for the paper's measurement points).
+func Mark(name string, fn func()) Seg {
+	return Seg{Name: name, Fn: func() []Seg { fn(); return nil }}
+}
+
+// Task is a unit of schedulable work at an interrupt level.
+type task struct {
+	level     int
+	name      string
+	segs      []Seg
+	onDone    func()
+	submitted sim.Time
+	started   bool
+}
+
+// CPUStats aggregates CPU-level accounting.
+type CPUStats struct {
+	TasksRun        uint64
+	SegsRun         uint64
+	BusyTime        sim.Time
+	MaxDispatchWait [NumLevels]sim.Time
+	Preemptions     uint64
+}
+
+// CPU dispatches tasks at interrupt levels with segment-boundary
+// preemption. It is strictly single-threaded (it models one processor).
+type CPU struct {
+	sched   *sim.Scheduler
+	name    string
+	pending [NumLevels][]*task
+	stack   []*task // running task stack; top is executing
+	inSeg   bool    // a segment is currently burning cycles
+	mask    int     // spl: tasks at level ≤ mask cannot start
+	kick    bool    // a dispatch kick event is queued
+
+	sysDMAActive int // DMA engines currently targeting system memory
+	interference float64
+
+	stats CPUStats
+}
+
+// NewCPU creates a CPU driven by sched. interference is the fractional
+// slowdown applied to segment execution per active system-memory DMA.
+func NewCPU(sched *sim.Scheduler, name string, interference float64) *CPU {
+	return &CPU{sched: sched, name: name, interference: interference, mask: -1}
+}
+
+// Now reports simulated time.
+func (c *CPU) Now() sim.Time { return c.sched.Now() }
+
+// Scheduler exposes the driving scheduler.
+func (c *CPU) Scheduler() *sim.Scheduler { return c.sched }
+
+// Stats returns a snapshot of CPU accounting.
+func (c *CPU) Stats() CPUStats { return c.stats }
+
+// Utilization reports the busy fraction of elapsed time.
+func (c *CPU) Utilization() float64 {
+	now := c.sched.Now()
+	if now == 0 {
+		return 0
+	}
+	return float64(c.stats.BusyTime) / float64(now)
+}
+
+// Spl raises (or lowers) the interrupt mask and returns the previous
+// value; tasks at level ≤ mask will not be dispatched. Call from inside a
+// Seg.Fn, and restore with SplX, mirroring splimp()/splx().
+func (c *CPU) Spl(level int) int {
+	old := c.mask
+	c.mask = level
+	return old
+}
+
+// SplX restores a mask saved by Spl.
+func (c *CPU) SplX(old int) {
+	c.mask = old
+	c.requestKick()
+}
+
+// Mask reports the current spl level (-1 means no masking).
+func (c *CPU) Mask() int { return c.mask }
+
+// Submit queues a task at the given interrupt level. onDone (may be nil)
+// fires when the task's last segment completes. Dispatch happens at the
+// next segment boundary; a higher-level task preempts a lower-level one
+// there.
+func (c *CPU) Submit(level int, name string, segs []Seg, onDone func()) {
+	sim.Checkf(level >= 0 && level < NumLevels, "task %q level %d out of range", name, level)
+	t := &task{level: level, name: name, segs: segs, onDone: onDone, submitted: c.sched.Now()}
+	c.pending[level] = append(c.pending[level], t)
+	c.requestKick()
+}
+
+// Busy reports whether a segment is executing right now.
+func (c *CPU) Busy() bool { return c.inSeg }
+
+// Running reports the name of the executing task, or "".
+func (c *CPU) Running() string {
+	if len(c.stack) == 0 {
+		return ""
+	}
+	return c.stack[len(c.stack)-1].name
+}
+
+// QueueDepth reports pending tasks at a level.
+func (c *CPU) QueueDepth(level int) int { return len(c.pending[level]) }
+
+// requestKick schedules a dispatch pass. Using a zero-delay event keeps
+// Submit safe to call from inside segment callbacks without re-entering
+// the dispatcher.
+func (c *CPU) requestKick() {
+	if c.kick {
+		return
+	}
+	c.kick = true
+	c.sched.After(0, c.name+".dispatch", func() {
+		c.kick = false
+		c.dispatch()
+	})
+}
+
+// bestPending reports the highest pending level above the spl mask, or -1.
+func (c *CPU) bestPending() int {
+	for l := NumLevels - 1; l >= 0; l-- {
+		if l <= c.mask {
+			break
+		}
+		if len(c.pending[l]) > 0 {
+			return l
+		}
+	}
+	return -1
+}
+
+// dispatch picks what runs next. Called only between segments.
+func (c *CPU) dispatch() {
+	if c.inSeg {
+		return // decision happens when the segment ends
+	}
+	cur := c.top()
+	best := c.bestPending()
+
+	switch {
+	case cur == nil && best < 0:
+		return // idle, nothing to do
+	case cur == nil || best > cur.level:
+		// Start (or preempt into) the highest pending task.
+		t := c.pending[best][0]
+		c.pending[best] = c.pending[best][1:]
+		if cur != nil {
+			c.stats.Preemptions++
+		}
+		c.stack = append(c.stack, t)
+		wait := c.sched.Now() - t.submitted
+		if wait > c.stats.MaxDispatchWait[t.level] {
+			c.stats.MaxDispatchWait[t.level] = wait
+		}
+		c.stats.TasksRun++
+		t.started = true
+		c.runSeg()
+	default:
+		// Continue the current task.
+		c.runSeg()
+	}
+}
+
+func (c *CPU) top() *task {
+	if len(c.stack) == 0 {
+		return nil
+	}
+	return c.stack[len(c.stack)-1]
+}
+
+// runSeg executes the current task's next segment.
+func (c *CPU) runSeg() {
+	t := c.top()
+	if t == nil {
+		return
+	}
+	if len(t.segs) == 0 {
+		// Task complete.
+		c.stack = c.stack[:len(c.stack)-1]
+		if t.onDone != nil {
+			t.onDone()
+		}
+		c.requestKick()
+		return
+	}
+	seg := t.segs[0]
+	t.segs = t.segs[1:]
+
+	dur := seg.Cost
+	if c.sysDMAActive > 0 && c.interference > 0 {
+		dur = sim.Scale(dur, 1+c.interference*float64(c.sysDMAActive))
+	}
+	c.inSeg = true
+	c.stats.SegsRun++
+	c.stats.BusyTime += dur
+	c.sched.After(dur, c.name+"."+t.name+"/"+seg.Name, func() {
+		c.inSeg = false
+		if seg.Fn != nil {
+			more := seg.Fn()
+			if len(more) > 0 {
+				t.segs = append(append([]Seg{}, more...), t.segs...)
+			}
+		}
+		c.dispatch()
+	})
+}
+
+// dmaStarted/dmaEnded are called by DMA engines to register cycle steal.
+func (c *CPU) dmaStarted(target MemoryKind) {
+	if target == SystemMemory {
+		c.sysDMAActive++
+	}
+}
+
+func (c *CPU) dmaEnded(target MemoryKind) {
+	if target == SystemMemory {
+		c.sysDMAActive--
+		sim.Checkf(c.sysDMAActive >= 0, "DMA bookkeeping underflow")
+	}
+}
+
+// String summarizes the CPU state.
+func (c *CPU) String() string {
+	return fmt.Sprintf("cpu{%s running=%q depth=%d mask=%d util=%.1f%%}",
+		c.name, c.Running(), len(c.stack), c.mask, 100*c.Utilization())
+}

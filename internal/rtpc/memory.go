@@ -1,0 +1,150 @@
+// Package rtpc models the IBM RT/PC machine the paper's prototype ran on,
+// at the granularity its latency analysis requires: a CPU that dispatches
+// work at interrupt levels and can only be preempted between code segments
+// (so the longest protected segment bounds interrupt latency, §5.2.2's
+// 440 µs), two memory domains (main system memory on the CPU bus and IO
+// Channel Memory on the IO Channel Bus, arbitrated by the IOCC), a copy
+// cost model calibrated from §5.3 (1 µs/byte CPU copy into IO Channel
+// Memory), and DMA engines whose transfers into system memory steal CPU
+// cycles while transfers to IO Channel Memory do not (§4).
+package rtpc
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// MemoryKind identifies which bus a buffer lives on.
+type MemoryKind uint8
+
+const (
+	// SystemMemory is main memory on the CPU's own bus.
+	SystemMemory MemoryKind = iota
+	// IOChannelMemory is the memory-only adapter on the IO Channel Bus.
+	IOChannelMemory
+	// DeviceMemory is on-card memory reached through a byte-wide
+	// programmed-IO interface (the VCA's 2K×16 buffer).
+	DeviceMemory
+)
+
+func (m MemoryKind) String() string {
+	switch m {
+	case SystemMemory:
+		return "system"
+	case IOChannelMemory:
+		return "io-channel"
+	case DeviceMemory:
+		return "device"
+	}
+	return fmt.Sprintf("MemoryKind(%d)", uint8(m))
+}
+
+// CostModel holds the calibrated data-movement costs. All per-byte values
+// are simulated time per byte.
+type CostModel struct {
+	// CPUCopySys is a CPU copy within system memory (mbuf shuffling,
+	// copyin/copyout).
+	CPUCopySys sim.Time
+	// CPUCopyIOCh is a CPU copy that crosses the IOCC into IO Channel
+	// Memory. The paper measures this at 1 µs/byte (§5.3: 2000 bytes of a
+	// CTMSP packet account for 2000 µs of the 2600 µs send path).
+	CPUCopyIOCh sim.Time
+	// CPUCopyDevice is programmed IO over a byte-wide device interface
+	// (the VCA). Slowest of all.
+	CPUCopyDevice sim.Time
+	// CPUCopyUser is a copyin/copyout crossing the user/kernel boundary
+	// (uiomove): access checks and page handling make it far slower than
+	// a kernel-internal bcopy on this class of machine.
+	CPUCopyUser sim.Time
+	// DMAPerByteSys is an adapter's DMA rate to/from a buffer in system
+	// memory: the fast path through the IOCC (which steals CPU cycles).
+	DMAPerByteSys sim.Time
+	// DMAPerByteIOCh is the DMA rate to/from IO Channel Memory: two
+	// devices arbitrating for the same IO Channel Bus, much slower, but
+	// invisible to the CPU. Calibrated (with DMAPerByteSys) so that a
+	// 2000-byte frame's minimum transmitter-to-receiver latency is
+	// ≈10.74 ms and the queued-state service time is just under the
+	// 12 ms packet interval, both per §5.3.
+	DMAPerByteIOCh sim.Time
+	// DMASysInterference is the fractional CPU slowdown while a DMA
+	// engine is targeting system memory (bus arbitration against the
+	// CPU). Zero when the target is IO Channel Memory — that is the whole
+	// point of the paper's third modification.
+	DMASysInterference float64
+}
+
+// DefaultCostModel returns the calibration described in DESIGN.md §5.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CPUCopySys:         400 * sim.Nanosecond,
+		CPUCopyIOCh:        1 * sim.Microsecond,
+		CPUCopyDevice:      2 * sim.Microsecond,
+		CPUCopyUser:        1400 * sim.Nanosecond,
+		DMAPerByteSys:      420 * sim.Nanosecond,
+		DMAPerByteIOCh:     1050 * sim.Nanosecond,
+		DMASysInterference: 0.30,
+	}
+}
+
+// CopyCost reports the CPU time to copy n bytes from src to dst memory.
+// The slower side of the transfer dominates.
+func (c CostModel) CopyCost(n int, src, dst MemoryKind) sim.Time {
+	per := c.CPUCopySys
+	if src == IOChannelMemory || dst == IOChannelMemory {
+		per = c.CPUCopyIOCh
+	}
+	if src == DeviceMemory || dst == DeviceMemory {
+		per = c.CPUCopyDevice
+	}
+	return sim.PerByte(per, n)
+}
+
+// DMACost reports the bus time for a DMA engine to move n bytes to or
+// from a buffer in the given memory.
+func (c CostModel) DMACost(n int, kind MemoryKind) sim.Time {
+	if kind == IOChannelMemory {
+		return sim.PerByte(c.DMAPerByteIOCh, n)
+	}
+	return sim.PerByte(c.DMAPerByteSys, n)
+}
+
+// Buffer is a named region of memory used as a fixed DMA buffer or a
+// device buffer. It tracks occupancy so the model can detect overruns.
+type Buffer struct {
+	Name string
+	Kind MemoryKind
+	Size int
+
+	used    int
+	content any
+}
+
+// NewBuffer allocates a model buffer.
+func NewBuffer(name string, kind MemoryKind, size int) *Buffer {
+	sim.Checkf(size > 0, "buffer %q needs positive size", name)
+	return &Buffer{Name: name, Kind: kind, Size: size}
+}
+
+// Fill marks n bytes of the buffer as holding content. It panics on
+// overrun: a fixed DMA buffer overrun is a driver bug, not a model input.
+func (b *Buffer) Fill(n int, content any) {
+	sim.Checkf(n <= b.Size, "buffer %q overrun: %d > %d", b.Name, n, b.Size)
+	b.used = n
+	b.content = content
+}
+
+// Clear releases the buffer.
+func (b *Buffer) Clear() {
+	b.used = 0
+	b.content = nil
+}
+
+// Used reports the occupied byte count.
+func (b *Buffer) Used() int { return b.used }
+
+// InUse reports whether the buffer currently holds content.
+func (b *Buffer) InUse() bool { return b.used > 0 }
+
+// Content returns what was stored by Fill.
+func (b *Buffer) Content() any { return b.content }

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RNG is a deterministic source of random variates for the model. It wraps
+// math/rand with helpers that produce the distributions the simulation
+// needs (exponential interarrivals, uniform jitter, truncated normals).
+//
+// Each subsystem should derive its own RNG with Fork so that adding or
+// removing one traffic source does not perturb the draws seen by another —
+// this keeps experiments comparable across configuration toggles.
+type RNG struct {
+	r    *rand.Rand
+	seed int64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG {
+	return &RNG{r: rand.New(rand.NewSource(seed)), seed: seed}
+}
+
+// Seed reports the seed this generator was created with.
+func (g *RNG) Seed() int64 { return g.seed }
+
+// Fork derives an independent generator whose stream depends only on the
+// parent seed and the label, not on how many draws the parent has made.
+func (g *RNG) Fork(label string) *RNG {
+	h := uint64(g.seed)
+	for _, c := range label {
+		h = h*1099511628211 + uint64(c) // FNV-style mixing
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return NewRNG(int64(h))
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (g *RNG) Float64() float64 { return g.r.Float64() }
+
+// Intn returns a uniform integer in [0, n).
+func (g *RNG) Intn(n int) int { return g.r.Intn(n) }
+
+// Bool returns true with probability p.
+func (g *RNG) Bool(p float64) bool { return g.r.Float64() < p }
+
+// Uniform returns a duration uniformly distributed in [lo, hi].
+func (g *RNG) Uniform(lo, hi Time) Time {
+	Checkf(hi >= lo, "Uniform bounds inverted: [%v, %v]", lo, hi)
+	if hi == lo {
+		return lo
+	}
+	return lo + Time(g.r.Int63n(int64(hi-lo)+1))
+}
+
+// Exp returns an exponentially distributed duration with the given mean.
+// Used for Poisson interarrival processes (MAC frames, station insertions,
+// background traffic bursts).
+func (g *RNG) Exp(mean Time) Time {
+	Checkf(mean > 0, "Exp mean must be positive, got %v", mean)
+	return Time(g.r.ExpFloat64() * float64(mean))
+}
+
+// Normal returns a normally distributed duration truncated at zero.
+func (g *RNG) Normal(mean, stddev Time) Time {
+	v := float64(mean) + g.r.NormFloat64()*float64(stddev)
+	if v < 0 {
+		v = 0
+	}
+	return Time(v)
+}
+
+// LogNormal returns a log-normally distributed duration whose underlying
+// normal has the given mu and sigma (in log-nanosecond space). Long-tailed
+// kernel code-path costs use this.
+func (g *RNG) LogNormal(mu, sigma float64) Time {
+	return Time(math.Exp(mu + sigma*g.r.NormFloat64()))
+}
+
+// Pareto returns a bounded Pareto-distributed duration in [lo, hi] with
+// shape alpha. Heavy-tailed burst lengths use this.
+func (g *RNG) Pareto(lo, hi Time, alpha float64) Time {
+	Checkf(hi > lo && lo > 0, "Pareto bounds invalid: [%v, %v]", lo, hi)
+	l := float64(lo)
+	h := float64(hi)
+	u := g.r.Float64()
+	la := math.Pow(l, alpha)
+	ha := math.Pow(h, alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+	if x < l {
+		x = l
+	}
+	if x > h {
+		x = h
+	}
+	return Time(x)
+}
+
+// Pick returns a uniformly selected element of choices.
+func Pick[T any](g *RNG, choices []T) T {
+	Checkf(len(choices) > 0, "Pick on empty slice")
+	return choices[g.Intn(len(choices))]
+}

@@ -1,0 +1,136 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+}
+
+func TestRNGForkIndependentOfParentDraws(t *testing.T) {
+	a := NewRNG(7)
+	b := NewRNG(7)
+	// Consume some draws from a only; forks must still agree.
+	for i := 0; i < 100; i++ {
+		a.Float64()
+	}
+	fa := a.Fork("mac-traffic")
+	fb := b.Fork("mac-traffic")
+	for i := 0; i < 100; i++ {
+		if fa.Float64() != fb.Float64() {
+			t.Fatal("forked streams must depend only on seed and label")
+		}
+	}
+}
+
+func TestRNGForkDistinctLabels(t *testing.T) {
+	g := NewRNG(1)
+	a := g.Fork("alpha")
+	b := g.Fork("beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Fatal("different labels should yield different streams")
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	g := NewRNG(3)
+	lo, hi := 10*Microsecond, 20*Microsecond
+	for i := 0; i < 10000; i++ {
+		v := g.Uniform(lo, hi)
+		if v < lo || v > hi {
+			t.Fatalf("Uniform out of bounds: %v", v)
+		}
+	}
+	if g.Uniform(5*Microsecond, 5*Microsecond) != 5*Microsecond {
+		t.Fatal("degenerate Uniform should return the bound")
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	g := NewRNG(4)
+	mean := 10 * Millisecond
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Exp(mean))
+	}
+	got := sum / n
+	if math.Abs(got-float64(mean)) > 0.05*float64(mean) {
+		t.Fatalf("Exp mean off: got %v want ~%v", Time(got), mean)
+	}
+}
+
+func TestNormalTruncation(t *testing.T) {
+	g := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		if g.Normal(Microsecond, 100*Microsecond) < 0 {
+			t.Fatal("Normal must be truncated at zero")
+		}
+	}
+}
+
+func TestParetoBounds(t *testing.T) {
+	g := NewRNG(6)
+	lo, hi := Millisecond, 100*Millisecond
+	for i := 0; i < 10000; i++ {
+		v := g.Pareto(lo, hi, 1.3)
+		if v < lo || v > hi {
+			t.Fatalf("Pareto out of bounds: %v", v)
+		}
+	}
+}
+
+func TestPick(t *testing.T) {
+	g := NewRNG(8)
+	choices := []int{10, 20, 30}
+	seen := map[int]bool{}
+	for i := 0; i < 300; i++ {
+		seen[Pick(g, choices)] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("Pick should eventually hit every element, saw %v", seen)
+	}
+}
+
+// Property: Uniform stays within bounds for arbitrary bound pairs.
+func TestUniformProperty(t *testing.T) {
+	g := NewRNG(9)
+	f := func(a, b uint32) bool {
+		lo, hi := Time(a), Time(b)
+		if hi < lo {
+			lo, hi = hi, lo
+		}
+		v := g.Uniform(lo, hi)
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoolProbabilityExtremes(t *testing.T) {
+	g := NewRNG(10)
+	for i := 0; i < 100; i++ {
+		if g.Bool(0) {
+			t.Fatal("Bool(0) must never be true")
+		}
+		if !g.Bool(1) {
+			t.Fatal("Bool(1) must always be true")
+		}
+	}
+}

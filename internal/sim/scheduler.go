@@ -1,0 +1,215 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. The zero value is not useful; events are
+// created through Scheduler.At and Scheduler.After and may be cancelled
+// before they fire.
+type Event struct {
+	at        Time
+	seq       uint64
+	fn        func()
+	name      string
+	cancelled bool
+	index     int // position in the heap, -1 once popped
+}
+
+// When reports the simulated time at which the event is due to fire.
+func (e *Event) When() Time { return e.at }
+
+// Name reports the diagnostic label given when the event was scheduled.
+func (e *Event) Name() string { return e.name }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is the discrete-event engine. It owns the simulated clock and a
+// priority queue of pending events. Events scheduled for the same instant
+// fire in the order they were scheduled, which keeps runs deterministic.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+	trace   *Trace
+}
+
+// NewScheduler returns a scheduler with the clock at zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now reports the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Fired reports how many events have been dispatched so far; useful for
+// tests and for sanity checks on run size.
+func (s *Scheduler) Fired() uint64 { return s.fired }
+
+// SetTrace attaches a trace log that records each dispatched event.
+// A nil trace disables tracing.
+func (s *Scheduler) SetTrace(t *Trace) { s.trace = t }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past is an invariant violation: the model must never depend on
+// re-ordering history.
+func (s *Scheduler) At(t Time, name string, fn func()) *Event {
+	Checkf(t >= s.now, "event %q scheduled at %v, before now %v", name, t, s.now)
+	Checkf(fn != nil, "event %q scheduled with nil callback", name)
+	e := &Event{at: t, seq: s.seq, fn: fn, name: name}
+	s.seq++
+	heap.Push(&s.events, e)
+	return e
+}
+
+// After schedules fn to run d after the current simulated time.
+func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
+	Checkf(d >= 0, "event %q scheduled with negative delay %v", name, d)
+	return s.At(s.now+d, name, fn)
+}
+
+// Every schedules fn to run every period, starting after the first period,
+// until the returned Repeater is stopped or the run ends.
+func (s *Scheduler) Every(period Duration, name string, fn func()) *Repeater {
+	Checkf(period > 0, "repeater %q needs a positive period, got %v", name, period)
+	r := &Repeater{s: s, period: period, name: name, fn: fn}
+	r.arm()
+	return r
+}
+
+// Repeater re-schedules a callback at a fixed period. The period is exact:
+// ticks do not drift even if the callback itself takes simulated actions.
+type Repeater struct {
+	s       *Scheduler
+	period  Duration
+	name    string
+	fn      func()
+	next    *Event
+	stopped bool
+}
+
+func (r *Repeater) arm() {
+	r.next = r.s.After(r.period, r.name, func() {
+		if r.stopped {
+			return
+		}
+		r.arm()
+		r.fn()
+	})
+}
+
+// Stop halts future firings. The callback will not run again.
+func (r *Repeater) Stop() {
+	r.stopped = true
+	if r.next != nil {
+		r.next.Cancel()
+	}
+}
+
+// Stop halts the run loop after the currently dispatching event returns.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+// Pending reports the number of live (non-cancelled) events in the queue.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, e := range s.events {
+		if !e.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// step dispatches the earliest pending event. It reports false when the
+// queue is empty.
+func (s *Scheduler) step() bool {
+	for len(s.events) > 0 {
+		e := heap.Pop(&s.events).(*Event)
+		if e.cancelled {
+			continue
+		}
+		Checkf(e.at >= s.now, "time went backwards: event %q at %v, now %v", e.name, e.at, s.now)
+		s.now = e.at
+		s.fired++
+		if s.trace != nil {
+			s.trace.Add(s.now, e.name)
+		}
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run dispatches events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps up to and including t, then
+// advances the clock to exactly t. Events scheduled after t remain queued.
+func (s *Scheduler) RunUntil(t Time) {
+	Checkf(t >= s.now, "RunUntil(%v) is before now %v", t, s.now)
+	s.stopped = false
+	for !s.stopped {
+		// Peek without popping.
+		if len(s.events) == 0 {
+			break
+		}
+		next := s.events[0]
+		if next.cancelled {
+			heap.Pop(&s.events)
+			continue
+		}
+		if next.at > t {
+			break
+		}
+		s.step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// String summarizes the scheduler state for debugging.
+func (s *Scheduler) String() string {
+	return fmt.Sprintf("sim.Scheduler{now: %v, pending: %d, fired: %d}", s.now, len(s.events), s.fired)
+}

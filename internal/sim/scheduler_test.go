@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.At(30*Microsecond, "c", func() { order = append(order, 3) })
+	s.At(10*Microsecond, "a", func() { order = append(order, 1) })
+	s.At(20*Microsecond, "b", func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if s.Now() != 30*Microsecond {
+		t.Fatalf("clock should end at last event, got %v", s.Now())
+	}
+}
+
+func TestSchedulerSimultaneousFIFO(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Millisecond, "tie", func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestSchedulerAfterAndNestedScheduling(t *testing.T) {
+	s := NewScheduler()
+	var got []Time
+	s.After(5*Microsecond, "outer", func() {
+		got = append(got, s.Now())
+		s.After(7*Microsecond, "inner", func() {
+			got = append(got, s.Now())
+		})
+	})
+	s.Run()
+	if len(got) != 2 || got[0] != 5*Microsecond || got[1] != 12*Microsecond {
+		t.Fatalf("nested scheduling wrong: %v", got)
+	}
+}
+
+func TestSchedulerCancel(t *testing.T) {
+	s := NewScheduler()
+	fired := false
+	e := s.After(Millisecond, "x", func() { fired = true })
+	e.Cancel()
+	s.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !e.Cancelled() {
+		t.Fatal("Cancelled() should report true")
+	}
+}
+
+func TestSchedulerRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var fired []string
+	s.At(10*Microsecond, "a", func() { fired = append(fired, "a") })
+	s.At(20*Microsecond, "b", func() { fired = append(fired, "b") })
+	s.At(30*Microsecond, "c", func() { fired = append(fired, "c") })
+	s.RunUntil(20 * Microsecond)
+	if len(fired) != 2 {
+		t.Fatalf("RunUntil should fire events at or before the bound, got %v", fired)
+	}
+	if s.Now() != 20*Microsecond {
+		t.Fatalf("clock should sit at the bound, got %v", s.Now())
+	}
+	s.RunUntil(25 * Microsecond)
+	if s.Now() != 25*Microsecond {
+		t.Fatalf("RunUntil with no events should still advance the clock, got %v", s.Now())
+	}
+	s.Run()
+	if len(fired) != 3 {
+		t.Fatalf("remaining event should fire on Run, got %v", fired)
+	}
+}
+
+func TestSchedulerStop(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	s.At(1*Microsecond, "a", func() { n++; s.Stop() })
+	s.At(2*Microsecond, "b", func() { n++ })
+	s.Run()
+	if n != 1 {
+		t.Fatalf("Stop should halt dispatch, fired %d", n)
+	}
+	s.Run()
+	if n != 2 {
+		t.Fatalf("Run should resume after Stop, fired %d", n)
+	}
+}
+
+func TestSchedulerPastSchedulingPanics(t *testing.T) {
+	s := NewScheduler()
+	s.At(10*Microsecond, "a", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past should panic")
+			}
+		}()
+		s.At(5*Microsecond, "past", func() {})
+	})
+	s.Run()
+}
+
+func TestRepeaterExactPeriod(t *testing.T) {
+	s := NewScheduler()
+	var ticks []Time
+	r := s.Every(12*Millisecond, "vca", func() { ticks = append(ticks, s.Now()) })
+	s.RunUntil(100 * Millisecond)
+	r.Stop()
+	if len(ticks) != 8 {
+		t.Fatalf("want 8 ticks in 100 ms at 12 ms, got %d", len(ticks))
+	}
+	for i, tk := range ticks {
+		want := Time(i+1) * 12 * Millisecond
+		if tk != want {
+			t.Fatalf("tick %d at %v, want %v (period must not drift)", i, tk, want)
+		}
+	}
+}
+
+func TestRepeaterStopInsideCallback(t *testing.T) {
+	s := NewScheduler()
+	n := 0
+	var r *Repeater
+	r = s.Every(Millisecond, "tick", func() {
+		n++
+		if n == 3 {
+			r.Stop()
+		}
+	})
+	s.Run()
+	if n != 3 {
+		t.Fatalf("repeater should stop after 3 ticks, got %d", n)
+	}
+}
+
+func TestSchedulerPendingCountsLiveEvents(t *testing.T) {
+	s := NewScheduler()
+	e1 := s.After(Millisecond, "a", func() {})
+	s.After(2*Millisecond, "b", func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("want 2 pending, got %d", s.Pending())
+	}
+	e1.Cancel()
+	if s.Pending() != 1 {
+		t.Fatalf("want 1 pending after cancel, got %d", s.Pending())
+	}
+}
+
+// Property: for any set of non-negative delays, events dispatch in
+// non-decreasing time order and the clock never moves backwards.
+func TestSchedulerMonotoneClockProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		s := NewScheduler()
+		last := Time(-1)
+		ok := true
+		for i, d := range delays {
+			_ = i
+			s.At(Time(d)*Microsecond, "e", func() {
+				if s.Now() < last {
+					ok = false
+				}
+				last = s.Now()
+			})
+		}
+		s.Run()
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeUnits(t *testing.T) {
+	if Second != 1000*Millisecond || Millisecond != 1000*Microsecond {
+		t.Fatal("unit ladder broken")
+	}
+	if got := (2500 * Microsecond).Milliseconds(); got != 2.5 {
+		t.Fatalf("Milliseconds: got %v", got)
+	}
+	if got := (3 * Microsecond).Microseconds(); got != 3 {
+		t.Fatalf("Microseconds: got %v", got)
+	}
+	if got := BitsOnWire(2000, 4_000_000); got != 4*Millisecond {
+		t.Fatalf("2000 bytes on a 4 Mbit ring should take 4 ms, got %v", got)
+	}
+	if got := Scale(100*Microsecond, 1.5); got != 150*Microsecond {
+		t.Fatalf("Scale: got %v", got)
+	}
+	if got := PerByte(Microsecond, 2000); got != 2*Millisecond {
+		t.Fatalf("PerByte: got %v", got)
+	}
+}

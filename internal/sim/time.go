@@ -1,0 +1,76 @@
+// Package sim provides a deterministic discrete-event simulation kernel:
+// a virtual clock, an event scheduler, seeded random-variate generation and
+// a trace log. Every other package in this repository that models hardware
+// or kernel behaviour is driven by a sim.Scheduler; nothing in the model
+// reads the wall clock, so runs are exactly reproducible for a given seed.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, measured in nanoseconds since the
+// start of the run. It is a distinct type from time.Duration to keep
+// simulated and real time from being mixed accidentally.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds.
+type Duration = Time
+
+// Convenient units for constructing simulated durations.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+	Minute      Time = 60 * Second
+	Hour        Time = 60 * Minute
+)
+
+// Microseconds reports t as a floating-point number of microseconds.
+// The paper reports every measurement in microseconds, so most of the
+// statistics pipeline works in this unit.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Milliseconds reports t as a floating-point number of milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Std converts t to a standard library time.Duration, which is useful only
+// for formatting.
+func (t Time) Std() time.Duration { return time.Duration(t) }
+
+// String formats the time compactly using standard duration notation.
+func (t Time) String() string { return t.Std().String() }
+
+// Scale returns t scaled by a dimensionless factor, rounding to the
+// nearest nanosecond. It is used by cost models (for example, slowing the
+// CPU down while a DMA engine steals memory cycles).
+func Scale(t Time, factor float64) Time {
+	if factor == 1 {
+		return t
+	}
+	return Time(float64(t)*factor + 0.5)
+}
+
+// PerByte builds a duration from a per-byte cost and a byte count.
+func PerByte(cost Time, n int) Time { return cost * Time(n) }
+
+// BitsOnWire reports how long n bytes occupy a serial medium running at
+// bitsPerSecond. It is exact for the 4 Mbit/s Token Ring: 2 µs per byte.
+func BitsOnWire(n int, bitsPerSecond int64) Time {
+	bits := int64(n) * 8
+	return Time(bits * int64(Second) / bitsPerSecond)
+}
+
+// Checkf panics with a formatted message if cond is false. The simulation
+// kernel uses it for internal invariants that indicate programming errors,
+// never for conditions that depend on model input.
+func Checkf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(fmt.Sprintf("sim: invariant violated: "+format, args...))
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TraceEntry is one recorded simulation event.
+type TraceEntry struct {
+	T    Time
+	What string
+}
+
+// Trace is a bounded in-memory log of simulation events, useful for
+// debugging model behaviour in tests. When the bound is exceeded the oldest
+// entries are discarded, mirroring the fixed-size capture buffers of the
+// measurement hardware the paper used.
+type Trace struct {
+	entries []TraceEntry
+	max     int
+	dropped uint64
+}
+
+// NewTrace returns a trace that keeps at most max entries (0 means a
+// default of 65536).
+func NewTrace(max int) *Trace {
+	if max <= 0 {
+		max = 65536
+	}
+	return &Trace{max: max}
+}
+
+// Add appends an entry, evicting the oldest if the trace is full.
+func (t *Trace) Add(at Time, what string) {
+	if len(t.entries) >= t.max {
+		// Drop the oldest half in one go to keep Add amortized O(1).
+		half := len(t.entries) / 2
+		t.dropped += uint64(half)
+		t.entries = append(t.entries[:0], t.entries[half:]...)
+	}
+	t.entries = append(t.entries, TraceEntry{T: at, What: what})
+}
+
+// Addf formats and appends an entry.
+func (t *Trace) Addf(at Time, format string, args ...any) {
+	t.Add(at, fmt.Sprintf(format, args...))
+}
+
+// Len reports the number of retained entries.
+func (t *Trace) Len() int { return len(t.entries) }
+
+// Dropped reports how many entries were evicted.
+func (t *Trace) Dropped() uint64 { return t.dropped }
+
+// Entries returns the retained entries in order.
+func (t *Trace) Entries() []TraceEntry { return t.entries }
+
+// Matching returns the entries whose label contains substr.
+func (t *Trace) Matching(substr string) []TraceEntry {
+	var out []TraceEntry
+	for _, e := range t.entries {
+		if strings.Contains(e.What, substr) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// String renders the trace, one entry per line.
+func (t *Trace) String() string {
+	var b strings.Builder
+	for _, e := range t.entries {
+		fmt.Fprintf(&b, "%12v  %s\n", e.T, e.What)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTraceBasics(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Add(Microsecond, "a")
+	tr.Addf(2*Microsecond, "b %d", 7)
+	if tr.Len() != 2 {
+		t.Fatalf("want 2 entries, got %d", tr.Len())
+	}
+	if tr.Entries()[1].What != "b 7" {
+		t.Fatalf("Addf formatting wrong: %q", tr.Entries()[1].What)
+	}
+	if !strings.Contains(tr.String(), "b 7") {
+		t.Fatal("String should include entries")
+	}
+}
+
+func TestTraceEviction(t *testing.T) {
+	tr := NewTrace(10)
+	for i := 0; i < 25; i++ {
+		tr.Addf(Time(i), "e%d", i)
+	}
+	if tr.Len() > 10 {
+		t.Fatalf("trace exceeded bound: %d", tr.Len())
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("eviction should be reported")
+	}
+	// The newest entry must always survive.
+	last := tr.Entries()[tr.Len()-1]
+	if last.What != "e24" {
+		t.Fatalf("newest entry lost: %q", last.What)
+	}
+}
+
+func TestTraceMatching(t *testing.T) {
+	tr := NewTrace(0)
+	tr.Add(1, "vca irq")
+	tr.Add(2, "ring transmit")
+	tr.Add(3, "vca handler")
+	got := tr.Matching("vca")
+	if len(got) != 2 {
+		t.Fatalf("want 2 vca entries, got %d", len(got))
+	}
+}
+
+func TestSchedulerTraceIntegration(t *testing.T) {
+	s := NewScheduler()
+	tr := NewTrace(0)
+	s.SetTrace(tr)
+	s.After(Millisecond, "hello", func() {})
+	s.Run()
+	if len(tr.Matching("hello")) != 1 {
+		t.Fatal("dispatched events should be traced")
+	}
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Histogram collects samples into fixed-width bins and also retains the raw
+// samples so exact quantiles and fraction-within-range queries (the form in
+// which the paper states every result) can be answered.
+type Histogram struct {
+	BinWidth float64 // bin width in microseconds
+	Label    string
+	bins     map[int64]uint64
+	samples  []float64
+	sorted   bool
+	Summary
+}
+
+// NewHistogram returns a histogram with the given bin width (µs) and label.
+func NewHistogram(binWidth float64, label string) *Histogram {
+	if binWidth <= 0 {
+		panic("stats: histogram bin width must be positive")
+	}
+	return &Histogram{BinWidth: binWidth, Label: label, bins: make(map[int64]uint64)}
+}
+
+// Add incorporates one sample (microseconds).
+func (h *Histogram) Add(x float64) {
+	h.Summary.Add(x)
+	h.bins[h.binOf(x)]++
+	h.samples = append(h.samples, x)
+	h.sorted = false
+}
+
+func (h *Histogram) binOf(x float64) int64 {
+	b := int64(x / h.BinWidth)
+	if x < 0 && float64(b)*h.BinWidth != x {
+		b-- // floor for negatives
+	}
+	return b
+}
+
+// Bin describes one non-empty histogram bin.
+type Bin struct {
+	Lo, Hi float64
+	Count  uint64
+}
+
+// Bins returns the non-empty bins in ascending order.
+func (h *Histogram) Bins() []Bin {
+	keys := make([]int64, 0, len(h.bins))
+	for k := range h.bins {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]Bin, len(keys))
+	for i, k := range keys {
+		out[i] = Bin{Lo: float64(k) * h.BinWidth, Hi: float64(k+1) * h.BinWidth, Count: h.bins[k]}
+	}
+	return out
+}
+
+func (h *Histogram) ensureSorted() {
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) by nearest rank.
+func (h *Histogram) Quantile(q float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	i := int(q * float64(len(h.samples)))
+	if i >= len(h.samples) {
+		i = len(h.samples) - 1
+	}
+	return h.samples[i]
+}
+
+// FractionWithin reports the fraction of samples x with lo ≤ x ≤ hi.
+// The paper states its results in exactly this form ("68% of the data
+// points fall within 500 µs of 2600 µs").
+func (h *Histogram) FractionWithin(lo, hi float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	i := sort.SearchFloat64s(h.samples, lo)
+	j := sort.Search(len(h.samples), func(k int) bool { return h.samples[k] > hi })
+	return float64(j-i) / float64(len(h.samples))
+}
+
+// FractionNear reports the fraction of samples within ±tol of center.
+func (h *Histogram) FractionNear(center, tol float64) float64 {
+	return h.FractionWithin(center-tol, center+tol)
+}
+
+// CountWithin reports how many samples fall in [lo, hi].
+func (h *Histogram) CountWithin(lo, hi float64) uint64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	h.ensureSorted()
+	i := sort.SearchFloat64s(h.samples, lo)
+	j := sort.Search(len(h.samples), func(k int) bool { return h.samples[k] > hi })
+	return uint64(j - i)
+}
+
+// Mode returns the midpoint of the fullest bin — the "peak" the paper
+// describes on each figure.
+func (h *Histogram) Mode() float64 {
+	var best int64
+	var bestCount uint64
+	first := true
+	for k, c := range h.bins {
+		if c > bestCount || (c == bestCount && (first || k < best)) {
+			best, bestCount = k, c
+			first = false
+		}
+	}
+	if bestCount == 0 {
+		return 0
+	}
+	return (float64(best) + 0.5) * h.BinWidth
+}
+
+// Peaks returns the midpoints of local maxima among bins holding at least
+// minFrac of all samples, in ascending position order. It is how tests
+// assert the bimodality of Figure 5-2.
+func (h *Histogram) Peaks(minFrac float64) []float64 {
+	bins := h.Bins()
+	if len(bins) == 0 {
+		return nil
+	}
+	total := float64(h.N())
+	var peaks []float64
+	for i, b := range bins {
+		if float64(b.Count)/total < minFrac {
+			continue
+		}
+		leftSmaller := i == 0 || bins[i-1].Count <= b.Count || bins[i-1].Lo != b.Lo-h.BinWidth
+		rightSmaller := i == len(bins)-1 || bins[i+1].Count <= b.Count || bins[i+1].Lo != b.Hi
+		if leftSmaller && rightSmaller {
+			peaks = append(peaks, (b.Lo+b.Hi)/2)
+		}
+	}
+	return coalescePeaks(peaks, 3*h.BinWidth)
+}
+
+// coalescePeaks merges peaks closer than minGap, keeping the first.
+func coalescePeaks(peaks []float64, minGap float64) []float64 {
+	var out []float64
+	for _, p := range peaks {
+		if len(out) > 0 && p-out[len(out)-1] < minGap {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Samples returns a copy of the raw samples in insertion order is NOT
+// guaranteed; they may have been sorted by a quantile query.
+func (h *Histogram) Samples() []float64 {
+	out := make([]float64, len(h.samples))
+	copy(out, h.samples)
+	return out
+}
+
+// String summarizes the histogram.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("%s: %s mode=%.0fµs", h.Label, h.Summary.String(), h.Mode())
+}

@@ -1,0 +1,181 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(100, "test")
+	for _, x := range []float64{0, 50, 99.9, 100, 150, 250} {
+		h.Add(x)
+	}
+	bins := h.Bins()
+	if len(bins) != 3 {
+		t.Fatalf("want 3 bins, got %d: %+v", len(bins), bins)
+	}
+	if bins[0].Count != 3 || bins[1].Count != 2 || bins[2].Count != 1 {
+		t.Fatalf("bin counts wrong: %+v", bins)
+	}
+	if bins[0].Lo != 0 || bins[0].Hi != 100 {
+		t.Fatalf("bin bounds wrong: %+v", bins[0])
+	}
+}
+
+func TestHistogramNegativeValues(t *testing.T) {
+	h := NewHistogram(10, "neg")
+	h.Add(-5)
+	h.Add(-15)
+	bins := h.Bins()
+	if len(bins) != 2 {
+		t.Fatalf("want 2 bins, got %+v", bins)
+	}
+	if bins[0].Lo != -20 || bins[1].Lo != -10 {
+		t.Fatalf("negative binning must floor: %+v", bins)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram(1, "q")
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if q := h.Quantile(0.5); q < 50 || q > 52 {
+		t.Fatalf("median: got %v", q)
+	}
+	if h.Quantile(0) != 1 || h.Quantile(1) != 100 {
+		t.Fatalf("extreme quantiles: %v, %v", h.Quantile(0), h.Quantile(1))
+	}
+}
+
+func TestFractionWithin(t *testing.T) {
+	h := NewHistogram(100, "f")
+	// 68 samples at 2600, 15 at 9400, 17 spread between — the Figure 5-2 shape.
+	for i := 0; i < 68; i++ {
+		h.Add(2600)
+	}
+	for i := 0; i < 15; i++ {
+		h.Add(9400)
+	}
+	for i := 0; i < 17; i++ {
+		h.Add(3200 + float64(i)*330)
+	}
+	if f := h.FractionNear(2600, 500); !almostEq(f, 0.68, 0.001) {
+		t.Fatalf("fraction near 2600: got %v", f)
+	}
+	if f := h.FractionNear(9400, 500); f < 0.15 {
+		t.Fatalf("fraction near 9400: got %v", f)
+	}
+	if got := h.CountWithin(9400, 9400); got != 15 {
+		t.Fatalf("CountWithin exact: got %d", got)
+	}
+}
+
+func TestHistogramPeaksBimodal(t *testing.T) {
+	h := NewHistogram(200, "bimodal")
+	for i := 0; i < 680; i++ {
+		h.Add(2600 + float64(i%5)*10)
+	}
+	for i := 0; i < 150; i++ {
+		h.Add(9400 + float64(i%5)*10)
+	}
+	for i := 0; i < 165; i++ {
+		h.Add(3000 + float64(i)*38) // thin spread between
+	}
+	peaks := h.Peaks(0.02)
+	if len(peaks) < 2 {
+		t.Fatalf("bimodal histogram should show ≥2 peaks, got %v", peaks)
+	}
+	if peaks[0] > 3200 || peaks[len(peaks)-1] < 9000 {
+		t.Fatalf("peaks misplaced: %v", peaks)
+	}
+}
+
+func TestHistogramMode(t *testing.T) {
+	h := NewHistogram(10, "m")
+	for i := 0; i < 5; i++ {
+		h.Add(105)
+	}
+	h.Add(55)
+	if m := h.Mode(); m != 105 {
+		t.Fatalf("mode: got %v", m)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram(100, "render")
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i * 17 % 1000))
+	}
+	out := h.Render(RenderOptions{Width: 30})
+	if !strings.Contains(out, "render") || !strings.Contains(out, "#") {
+		t.Fatalf("render output malformed:\n%s", out)
+	}
+	// Log-scale rendering must also work and show every non-empty row.
+	out = h.Render(RenderOptions{Width: 30, LogScale: true})
+	if !strings.Contains(out, "#") {
+		t.Fatal("log-scale render empty")
+	}
+}
+
+func TestHistogramRenderClip(t *testing.T) {
+	h := NewHistogram(100, "clip")
+	for i := 0; i < 50; i++ {
+		h.Add(100)
+	}
+	h.Add(125000) // a 120-130 ms outlier
+	out := h.Render(RenderOptions{Width: 30, ClipHi: 20000})
+	if !strings.Contains(out, "> 20000") {
+		t.Fatalf("overflow row missing:\n%s", out)
+	}
+	if strings.Count(out, "\n") > 10 {
+		t.Fatalf("clipping should keep output small:\n%s", out)
+	}
+}
+
+func TestHistogramRenderEmpty(t *testing.T) {
+	h := NewHistogram(10, "empty")
+	if !strings.Contains(h.Render(RenderOptions{}), "no samples") {
+		t.Fatal("empty render should say so")
+	}
+}
+
+// Property: bin counts always sum to N, and every sample lands in the bin
+// covering it.
+func TestHistogramTotalProperty(t *testing.T) {
+	f := func(xs []float32) bool {
+		h := NewHistogram(50, "p")
+		for _, x := range xs {
+			h.Add(float64(x))
+		}
+		var total uint64
+		for _, b := range h.Bins() {
+			total += b.Count
+		}
+		return total == h.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FractionWithin over the full range is 1; quantiles are ordered.
+func TestHistogramFractionProperty(t *testing.T) {
+	f := func(xs []float32) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		h := NewHistogram(25, "p2")
+		for _, x := range xs {
+			h.Add(float64(x))
+		}
+		if !almostEq(h.FractionWithin(h.Min(), h.Max()), 1, 1e-12) {
+			return false
+		}
+		return h.Quantile(0.25) <= h.Quantile(0.5) && h.Quantile(0.5) <= h.Quantile(0.95)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N: got %d", s.N())
+	}
+	if !almostEq(s.Mean(), 5, 1e-9) {
+		t.Fatalf("mean: got %v", s.Mean())
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if !almostEq(s.Stddev(), math.Sqrt(32.0/7.0), 1e-9) {
+		t.Fatalf("stddev: got %v", s.Stddev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max: got %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty summary should report zeros")
+	}
+}
+
+func TestSummarySingleSample(t *testing.T) {
+	var s Summary
+	s.Add(42)
+	if s.Mean() != 42 || s.Stddev() != 0 || s.Min() != 42 || s.Max() != 42 {
+		t.Fatalf("single sample: %s", s.String())
+	}
+}
+
+func TestSummaryMerge(t *testing.T) {
+	var a, b, all Summary
+	xs := []float64{1, 5, 2, 8, 3, 9, 4, 4, 7, 6}
+	for i, x := range xs {
+		all.Add(x)
+		if i < 4 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != all.N() {
+		t.Fatalf("merge N: got %d want %d", a.N(), all.N())
+	}
+	if !almostEq(a.Mean(), all.Mean(), 1e-9) || !almostEq(a.Var(), all.Var(), 1e-9) {
+		t.Fatalf("merge stats diverge: %v/%v vs %v/%v", a.Mean(), a.Var(), all.Mean(), all.Var())
+	}
+	if a.Min() != all.Min() || a.Max() != all.Max() {
+		t.Fatal("merge min/max wrong")
+	}
+}
+
+func TestSummaryMergeEmpty(t *testing.T) {
+	var a, b Summary
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 3 {
+		t.Fatal("merge with empty changed stats")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 3 {
+		t.Fatal("merge into empty should copy")
+	}
+}
+
+// Property: Merge(a, b) equals adding all samples to one summary.
+func TestSummaryMergeProperty(t *testing.T) {
+	f := func(xs, ys []float32) bool {
+		var a, b, all Summary
+		for _, x := range xs {
+			a.Add(float64(x))
+			all.Add(float64(x))
+		}
+		for _, y := range ys {
+			b.Add(float64(y))
+			all.Add(float64(y))
+		}
+		a.Merge(&b)
+		if a.N() != all.N() {
+			return false
+		}
+		if a.N() == 0 {
+			return true
+		}
+		scale := math.Max(1, math.Abs(all.Mean()))
+		return almostEq(a.Mean(), all.Mean(), 1e-6*scale) &&
+			almostEq(a.Var(), all.Var(), 1e-4*math.Max(1, all.Var()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean is always within [min, max].
+func TestSummaryMeanBoundsProperty(t *testing.T) {
+	f := func(xs []float32) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		var s Summary
+		for _, x := range xs {
+			s.Add(float64(x))
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,73 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSVGWellFormed(t *testing.T) {
+	h := NewHistogram(100, "Figure 5-3 <test> & more")
+	for i := 0; i < 1000; i++ {
+		h.Add(10740 + float64(i%40)*10)
+	}
+	h.Add(125000) // outlier beyond the clip
+	svg := h.SVG(SVGOptions{ClipHi: 45000, LogY: true})
+	for _, want := range []string{
+		"<svg", "</svg>", "microseconds", "count (log)",
+		"&lt;test&gt; &amp; more", // title escaped
+		"+1 samples",              // overflow note
+		"<rect",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<svg") != 1 || strings.Count(svg, "</svg>") != 1 {
+		t.Fatal("malformed document")
+	}
+	// No raw unescaped angle brackets from the title.
+	if strings.Contains(svg, "<test>") {
+		t.Fatal("title not escaped")
+	}
+}
+
+func TestSVGEmptyHistogram(t *testing.T) {
+	h := NewHistogram(10, "empty")
+	svg := h.SVG(SVGOptions{})
+	if !strings.Contains(svg, "no samples") {
+		t.Fatal("empty histogram should say so")
+	}
+}
+
+func TestSVGLinearScale(t *testing.T) {
+	h := NewHistogram(10, "linear")
+	h.Add(100)
+	h.Add(100)
+	h.Add(200)
+	svg := h.SVG(SVGOptions{LogY: false})
+	if strings.Contains(svg, "count (log)") {
+		t.Fatal("linear scale mislabelled")
+	}
+	if !strings.Contains(svg, "<rect") {
+		t.Fatal("bars missing")
+	}
+}
+
+func TestNiceStep(t *testing.T) {
+	cases := map[float64]float64{
+		0.7:  1,
+		1.5:  2,
+		3:    5,
+		7:    10,
+		230:  500,
+		1100: 2000,
+	}
+	for in, want := range cases {
+		if got := niceStep(in); got != want {
+			t.Errorf("niceStep(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if niceStep(0) != 1 {
+		t.Error("zero input")
+	}
+}

@@ -1,0 +1,601 @@
+// Package tradapter models the IBM Token Ring adapter and its UNIX device
+// driver, with every §3/§4 modification as a configuration toggle:
+//
+//   - fixed DMA buffers in IO Channel Memory vs system memory (§4),
+//   - a CTMSP packet-priority class inside the driver, above ARP and IP (§3),
+//   - CTMSP frames sent at an elevated Token Ring access priority (§3),
+//   - the Token Ring header precomputed once per connection vs recomputed
+//     for every packet as IP requires (§3),
+//   - the split point where received packets are classified so CTMSP
+//     packets can be handled with "the shortest possible test" (§3, §5.2.3),
+//   - the adapter's inability to interrupt on Ring Purge (§4), with the
+//     hypothetical purge-interrupt mode available as an ablation,
+//   - optional promiscuous MAC-frame reception, whose interrupt overhead
+//     §4 quantifies and rejects.
+package tradapter
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/ring"
+	"repro/internal/rtpc"
+	"repro/internal/sim"
+)
+
+// Class is the protocol class of a packet at the driver's split point.
+type Class uint8
+
+const (
+	// ClassIP is ordinary IP traffic.
+	ClassIP Class = iota
+	// ClassARP is address-resolution traffic.
+	ClassARP
+	// ClassCTMSP is continuous-time-media traffic, which the modified
+	// driver queues ahead of everything else.
+	ClassCTMSP
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassIP:
+		return "IP"
+	case ClassARP:
+		return "ARP"
+	case ClassCTMSP:
+		return "CTMSP"
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// RingOverhead is the Token Ring framing (SD, AC, FC, addresses, RI, FCS,
+// ED, FS) added to every frame on the wire.
+const RingOverhead = 21
+
+// Config selects which of the paper's modifications are active.
+type Config struct {
+	// DMABufferKind places the fixed DMA buffers (§4's third change).
+	DMABufferKind rtpc.MemoryKind
+	// DriverPriority serves ClassCTMSP before ARP/IP in the output queue.
+	DriverPriority bool
+	// CTMSPRingPriority is the Token Ring access priority for CTMSP
+	// frames (0 = same as everything else).
+	CTMSPRingPriority int
+	// PrecomputeHeader caches the ring header per connection; when false
+	// every packet pays HeaderComputeCost, as IP's routing model forces.
+	PrecomputeHeader bool
+	// HeaderComputeCost is the CPU cost to build a Token Ring header.
+	HeaderComputeCost sim.Time
+	// TxBuffers and RxBuffers are the number of fixed DMA buffers.
+	TxBuffers, RxBuffers int
+	// PurgeInterrupt enables the hypothetical adapter that interrupts on
+	// Ring Purge, letting the driver retransmit the last packet (§5).
+	PurgeInterrupt bool
+	// UnprotectedQueueBug re-introduces the critical-section bug the
+	// paper found with the TAP monitor (§5): the output queue is
+	// manipulated without protection against the transmit-complete
+	// interrupt, so under the right interleaving two queued packets
+	// swap. "Once the critical sections of code were more carefully
+	// protected, the problem of out of order packets completely
+	// disappeared."
+	UnprotectedQueueBug bool
+	// PromiscuousMAC receives every MAC frame, costing an interrupt each.
+	PromiscuousMAC bool
+}
+
+// DefaultConfig returns the fully modified driver of the prototype.
+func DefaultConfig() Config {
+	return Config{
+		DMABufferKind:     rtpc.IOChannelMemory,
+		DriverPriority:    true,
+		CTMSPRingPriority: 4,
+		PrecomputeHeader:  true,
+		HeaderComputeCost: 120 * sim.Microsecond,
+		TxBuffers:         2,
+		RxBuffers:         4,
+	}
+}
+
+// StockConfig returns the unmodified driver: buffers in system memory, one
+// FIFO output queue, no ring priority, per-packet header computation.
+func StockConfig() Config {
+	c := DefaultConfig()
+	c.DMABufferKind = rtpc.SystemMemory
+	c.DriverPriority = false
+	c.CTMSPRingPriority = 0
+	c.PrecomputeHeader = false
+	return c
+}
+
+// Timing holds the adapter hardware constants, calibrated in DESIGN.md §5
+// so a 2000-byte frame's minimum transmitter-to-receiver latency matches
+// Figure 5-3's 10 740 µs.
+type Timing struct {
+	// TxCardLatency is adapter firmware processing before transmission.
+	TxCardLatency sim.Time
+	// RxCardLatency is adapter firmware processing on reception.
+	RxCardLatency sim.Time
+	// CardJitterMax is the per-frame firmware-latency variation added to
+	// each of the card latencies (uniform in [0, max]).
+	CardJitterMax sim.Time
+	// IntrDispatchCost is the fixed cost at the top of the interrupt
+	// handler (register save, status read).
+	IntrDispatchCost sim.Time
+	// ClassifyCost is the "shortest possible test" that recognizes a
+	// CTMSP packet at the split point.
+	ClassifyCost sim.Time
+	// CompletionCost is the transmit-complete interrupt's work.
+	CompletionCost sim.Time
+	// MACFrameCost is the interrupt + header parse per MAC frame in
+	// promiscuous mode (§4 calls this overhead unacceptable).
+	MACFrameCost sim.Time
+}
+
+// DefaultTiming returns the calibrated constants.
+func DefaultTiming() Timing {
+	return Timing{
+		TxCardLatency:    540 * sim.Microsecond,
+		RxCardLatency:    3075 * sim.Microsecond,
+		CardJitterMax:    120 * sim.Microsecond,
+		IntrDispatchCost: 60 * sim.Microsecond,
+		ClassifyCost:     25 * sim.Microsecond,
+		CompletionCost:   80 * sim.Microsecond,
+		MACFrameCost:     110 * sim.Microsecond,
+	}
+}
+
+// Outgoing is one packet handed to the driver for transmission.
+type Outgoing struct {
+	Chain *kernel.Chain
+	Size  int // payload bytes (ring overhead added on the wire)
+	Class Class
+	Dst   ring.Addr
+	// RoutedDst is the final destination when the frame crosses a
+	// router: Dst addresses the router's ingress port (or the target on
+	// the final ring), RoutedDst names the end station. Zero means local
+	// delivery.
+	RoutedDst ring.Addr
+	// CopyBytes is how many bytes the CPU copies into the fixed DMA
+	// buffer (§5.3's "header only" vs "header and data" toggle). Zero
+	// means copy Size bytes.
+	CopyBytes int
+	// NoCopy is §2's pointer-transfer extension: the CPU passes the mbuf
+	// chain's DMA-able pages to the adapter instead of copying. The
+	// adapter then DMAs from system memory, which steals CPU cycles.
+	NoCopy bool
+	// Capture is what a ring monitor sees of the packet (≤96 bytes).
+	Capture []byte
+	// PreTransmit fires immediately after the packet is copied into the
+	// fixed DMA buffer and immediately before the transmit command —
+	// measurement point 3.
+	PreTransmit func()
+	// Done fires at the transmit-complete interrupt with the hardware
+	// delivery status.
+	Done func(ring.DeliveryStatus)
+
+	queuedAt sim.Time
+}
+
+// Received is a packet arriving at the driver's split point.
+type Received struct {
+	Frame *ring.Frame
+	Class Class
+	Size  int
+	// At is the classification instant (measurement point 4 for CTMSP).
+	At sim.Time
+	// Buffer is the fixed rx DMA buffer the packet sits in. The handler
+	// must Release exactly once, after whatever copying its path does.
+	Buffer  *rtpc.Buffer
+	release func()
+}
+
+// Release frees the rx DMA buffer for the next frame.
+func (r *Received) Release() {
+	sim.Checkf(r.release != nil, "rx buffer released twice")
+	f := r.release
+	r.release = nil
+	f()
+}
+
+// Handler consumes a classified packet. It runs inside the receive
+// interrupt and returns additional CPU segments (the configured copy path)
+// to execute at interrupt level.
+type Handler func(*Received) []rtpc.Seg
+
+// Stats aggregates driver accounting.
+type Stats struct {
+	TxQueued     [numClasses]uint64
+	TxDone       [numClasses]uint64
+	TxDropped    [numClasses]uint64
+	RxFrames     [numClasses]uint64
+	RxNoBuffer   uint64
+	RxMACFrames  uint64
+	Retransmits  uint64
+	HeaderComps  uint64
+	QueueRaces   uint64
+	MaxTxQueue   int
+	MaxQueueWait sim.Time
+}
+
+// Driver is the Token Ring device driver plus adapter.
+type Driver struct {
+	k      *kernel.Kernel
+	st     *ring.Station
+	cfg    Config
+	timing Timing
+	// The adapter has independent transmit and receive DMA channels;
+	// only the host bus (and the CPU, for system-memory targets) is
+	// shared between them.
+	txDMA, rxDMA *rtpc.DMA
+
+	txBufs   []*rtpc.Buffer
+	txQueues [2][]*Outgoing // 1 = CTMSP class, 0 = everything else
+	// The transmit path is a two-stage pipeline: the CPU copies the next
+	// packet into a free fixed DMA buffer while the previous packet is
+	// still being DMAd/transmitted. Copies run one at a time (they are
+	// CPU work and must finish in order); the wire stage is strictly
+	// serialized in copy order, which is what preserves packet sequence.
+	copyActive bool
+	wireQ      []*wireItem
+	wireBusy   bool
+	lastSent   *Outgoing // survives in the fixed buffer for purge retransmit
+
+	rxBufs    []*rtpc.Buffer
+	rxPending int // frames between wire arrival and rx buffer claim
+
+	handlers [numClasses]Handler
+	stats    Stats
+}
+
+// New builds a driver for machine k attached to station st.
+func New(k *kernel.Kernel, st *ring.Station, cfg Config, timing Timing) *Driver {
+	if cfg.TxBuffers <= 0 {
+		cfg.TxBuffers = 1
+	}
+	if cfg.RxBuffers <= 0 {
+		cfg.RxBuffers = 2
+	}
+	d := &Driver{k: k, st: st, cfg: cfg, timing: timing}
+	d.txDMA = k.Machine.NewDMA("trdma-tx")
+	d.rxDMA = k.Machine.NewDMA("trdma-rx")
+	for i := 0; i < cfg.TxBuffers; i++ {
+		d.txBufs = append(d.txBufs, rtpc.NewBuffer(fmt.Sprintf("txdma%d", i), cfg.DMABufferKind, 4096))
+	}
+	for i := 0; i < cfg.RxBuffers; i++ {
+		d.rxBufs = append(d.rxBufs, rtpc.NewBuffer(fmt.Sprintf("rxdma%d", i), cfg.DMABufferKind, 4096))
+	}
+	st.OnReceive(d.frameArrived)
+	st.SetCopyGate(d.haveRxBuffer)
+	st.SetPromiscuousMAC(cfg.PromiscuousMAC)
+	return d
+}
+
+// DriverName implements kernel.Driver.
+func (d *Driver) DriverName() string { return "tr0" }
+
+// Ioctl implements the connection-setup commands the paper added.
+func (d *Driver) Ioctl(cmd string, arg any) (any, error) {
+	switch cmd {
+	case "compute-header":
+		// Build a Token Ring header for a destination once, for the life
+		// of the connection (§3's split-out header function).
+		dst, ok := arg.(ring.Addr)
+		if !ok {
+			return nil, fmt.Errorf("tr0: compute-header wants a ring.Addr")
+		}
+		d.stats.HeaderComps++
+		return BuildRingHeader(d.st.Addr(), dst), nil
+	case "get-output-handle":
+		// The function handle a source driver uses for direct
+		// driver-to-driver transmission (§2).
+		return d.Output, nil
+	case "config":
+		return d.cfg, nil
+	default:
+		return nil, fmt.Errorf("tr0: unknown ioctl %q", cmd)
+	}
+}
+
+// Station exposes the underlying ring station.
+func (d *Driver) Station() *ring.Station { return d.st }
+
+// Config reports the active configuration.
+func (d *Driver) Config() Config { return d.cfg }
+
+// Stats returns a snapshot of driver accounting.
+func (d *Driver) Stats() Stats { return d.stats }
+
+// SetHandler installs the receive handler for a class.
+func (d *Driver) SetHandler(c Class, h Handler) { d.handlers[c] = h }
+
+// BuildRingHeader constructs the 14-byte MAC header plus LLC bytes that
+// precede every packet. Only its length matters to the model, but the
+// bytes are real so monitor captures decode.
+func BuildRingHeader(src, dst ring.Addr) []byte {
+	h := make([]byte, 22)
+	h[0] = ring.EncodeAC(0, false)
+	h[1] = ring.EncodeFC(ring.LLC)
+	h[2], h[3] = byte(dst>>8), byte(dst)
+	h[8], h[9] = byte(src>>8), byte(src)
+	h[14] = 0xAA // SNAP
+	h[15] = 0xAA
+	return h
+}
+
+// ---- transmit path ----
+
+// Output queues a packet for transmission. Safe to call from any level;
+// the driver's own work runs at network interrupt level.
+func (d *Driver) Output(p *Outgoing) {
+	sim.Checkf(p.Size > 0, "zero-size packet")
+	q := 0
+	if d.cfg.DriverPriority && p.Class == ClassCTMSP {
+		q = 1
+	}
+	p.queuedAt = d.k.Sched().Now()
+	d.txQueues[q] = append(d.txQueues[q], p)
+	d.stats.TxQueued[p.Class]++
+	if depth := len(d.txQueues[0]) + len(d.txQueues[1]); depth > d.stats.MaxTxQueue {
+		d.stats.MaxTxQueue = depth
+	}
+	d.pumpTx()
+}
+
+func (d *Driver) freeTxBuf() *rtpc.Buffer {
+	for _, b := range d.txBufs {
+		if !b.InUse() {
+			return b
+		}
+	}
+	return nil
+}
+
+func (d *Driver) nextTx() *Outgoing {
+	for q := 1; q >= 0; q-- {
+		if len(d.txQueues[q]) == 0 {
+			continue
+		}
+		pick := 0
+		// The historical critical-section bug: a transmit-complete
+		// interrupt racing the enqueue leaves the list head stale, so a
+		// backlogged queue occasionally serves its second entry first.
+		if d.cfg.UnprotectedQueueBug && len(d.txQueues[q]) >= 2 && d.k.Machine.RNG().Bool(0.25) {
+			d.stats.QueueRaces++
+			pick = 1
+		}
+		p := d.txQueues[q][pick]
+		d.txQueues[q] = append(d.txQueues[q][:pick], d.txQueues[q][pick+1:]...)
+		return p
+	}
+	return nil
+}
+
+type wireItem struct {
+	p   *Outgoing
+	buf *rtpc.Buffer
+}
+
+// pumpTx starts the copy stage for the next queued packet if a fixed DMA
+// buffer is free and no copy is in progress. The wire stage below is
+// constrained to send one packet completely before starting another —
+// that constraint is what preserves packet sequence (§3).
+func (d *Driver) pumpTx() {
+	if d.copyActive {
+		return
+	}
+	buf := d.freeTxBuf()
+	if buf == nil {
+		return
+	}
+	p := d.nextTx()
+	if p == nil {
+		return
+	}
+	d.copyActive = true
+	buf.Fill(p.Size, p) // reserve the buffer for this packet's copy
+	if w := d.k.Sched().Now() - p.queuedAt; w > d.stats.MaxQueueWait {
+		d.stats.MaxQueueWait = w
+	}
+
+	copyBytes := p.CopyBytes
+	if copyBytes <= 0 {
+		copyBytes = p.Size
+	}
+	m := d.k.Machine
+	// Driver entry: queue manipulation, buffer setup, adapter register
+	// programming.
+	segs := []rtpc.Seg{rtpc.Do("driver-entry", 120*sim.Microsecond)}
+	if !d.cfg.PrecomputeHeader {
+		d.stats.HeaderComps++
+		segs = append(segs, rtpc.Do("compute-ring-header", d.cfg.HeaderComputeCost))
+	}
+	if p.NoCopy {
+		// Pointer transfer: only the descriptor list is built by the CPU.
+		segs = append(segs, rtpc.Do("build-descriptors", 60*sim.Microsecond))
+	} else {
+		// The CPU copies the packet from mbufs (system memory) into the
+		// fixed DMA buffer — 1 µs/byte when the buffer is in IO Channel
+		// Memory. The copy loop is interruptible, so it is chunked.
+		segs = append(segs, m.CopySegs("copy-to-dma-buf", copyBytes, rtpc.SystemMemory, d.cfg.DMABufferKind)...)
+	}
+	segs = append(segs,
+		rtpc.Do("driver-jitter", m.Jitter(40*sim.Microsecond)),
+		rtpc.Mark("pre-transmit", func() {
+			if p.PreTransmit != nil {
+				p.PreTransmit()
+			}
+			d.copyActive = false
+			d.wireQ = append(d.wireQ, &wireItem{p: p, buf: buf})
+			d.pumpWire()
+			d.pumpTx() // another buffer may be free for the next copy
+		}),
+	)
+	d.k.CPU().Submit(kernel.LevelNet, "tr0.start-output", segs, nil)
+}
+
+// pumpWire starts the adapter on the next fully-copied packet, strictly
+// in copy order.
+func (d *Driver) pumpWire() {
+	if d.wireBusy || len(d.wireQ) == 0 {
+		return
+	}
+	item := d.wireQ[0]
+	d.wireQ = d.wireQ[1:]
+	d.wireBusy = true
+	d.issueTransmit(item.p, item.buf)
+}
+
+// issueTransmit gives the adapter the transmit command: the card DMAs the
+// frame out of the fixed buffer, processes it, and puts it on the ring.
+func (d *Driver) issueTransmit(p *Outgoing, buf *rtpc.Buffer) {
+	src := buf.Kind
+	if p.NoCopy {
+		src = rtpc.SystemMemory // the adapter DMAs straight from mbufs
+	}
+	d.txDMA.Transfer(p.Size, src, "tx", func() {
+		card := d.timing.TxCardLatency + d.k.Machine.Jitter(d.timing.CardJitterMax)
+		d.k.Sched().After(card, "tr0.tx-card", func() {
+			prio := 0
+			if p.Class == ClassCTMSP {
+				prio = d.cfg.CTMSPRingPriority
+			}
+			f := ring.NewDataFrame(d.st.Addr(), p.Dst, prio, p.Size+RingOverhead, p.Capture, p)
+			d.st.Transmit(f, func(s ring.DeliveryStatus) {
+				d.txComplete(p, buf, s)
+			})
+		})
+	})
+}
+
+// txComplete is the transmit-complete interrupt.
+func (d *Driver) txComplete(p *Outgoing, buf *rtpc.Buffer, s ring.DeliveryStatus) {
+	segs := []rtpc.Seg{
+		rtpc.Do("intr-dispatch", d.timing.IntrDispatchCost),
+		rtpc.Then("tx-complete", d.timing.CompletionCost, func() {
+			if s.PurgeLost && d.cfg.PurgeInterrupt {
+				// Hypothetical adapter: retransmit the packet still
+				// sitting in the fixed DMA buffer.
+				d.stats.Retransmits++
+				d.issueTransmit(p, buf)
+				return
+			}
+			// Real adapter: the driver never learns about a purge loss.
+			d.lastSent = p
+			buf.Clear()
+			d.wireBusy = false
+			d.stats.TxDone[p.Class]++
+			if p.Done != nil {
+				p.Done(s)
+			}
+			d.pumpWire()
+			d.pumpTx()
+		}),
+	}
+	d.k.CPU().Submit(kernel.LevelNet, "tr0.tx-intr", segs, nil)
+}
+
+// ---- receive path ----
+
+func (d *Driver) haveRxBuffer() bool {
+	free := 0
+	for _, b := range d.rxBufs {
+		if !b.InUse() {
+			free++
+		}
+	}
+	if free > d.rxPending {
+		return true
+	}
+	d.stats.RxNoBuffer++
+	return false
+}
+
+func (d *Driver) claimRxBuf() *rtpc.Buffer {
+	for _, b := range d.rxBufs {
+		if !b.InUse() {
+			return b
+		}
+	}
+	return nil
+}
+
+// frameArrived runs when a frame addressed to this station completes on
+// the wire: card firmware latency, DMA into a fixed rx buffer, then the
+// receive interrupt.
+func (d *Driver) frameArrived(f *ring.Frame, _ sim.Time) {
+	if f.Kind == ring.MAC {
+		d.macFrame(f)
+		return
+	}
+	d.rxPending++
+	size := f.Size - RingOverhead
+	card := d.timing.RxCardLatency + d.k.Machine.Jitter(d.timing.CardJitterMax)
+	d.k.Sched().After(card, "tr0.rx-card", func() {
+		buf := d.claimRxBuf()
+		if buf == nil {
+			// Race: buffers filled since the copy gate passed.
+			d.rxPending--
+			d.stats.RxNoBuffer++
+			return
+		}
+		buf.Fill(size, f)
+		d.rxPending--
+		d.rxDMA.Transfer(size, buf.Kind, "rx", func() {
+			d.rxInterrupt(f, size, buf)
+		})
+	})
+}
+
+// rxInterrupt classifies the packet at the split point and runs the class
+// handler's copy path at interrupt level.
+func (d *Driver) rxInterrupt(f *ring.Frame, size int, buf *rtpc.Buffer) {
+	segs := []rtpc.Seg{
+		rtpc.Do("intr-dispatch", d.timing.IntrDispatchCost),
+		{Name: "classify", Cost: d.timing.ClassifyCost, Fn: func() []rtpc.Seg {
+			class := classOf(f)
+			d.stats.RxFrames[class]++
+			rcv := &Received{
+				Frame:  f,
+				Class:  class,
+				Size:   size,
+				At:     d.k.Sched().Now(),
+				Buffer: buf,
+			}
+			rcv.release = func() { buf.Clear() }
+			h := d.handlers[class]
+			if h == nil {
+				rcv.Release()
+				return nil
+			}
+			return h(rcv)
+		}},
+	}
+	d.k.CPU().Submit(kernel.LevelNet, "tr0.rx-intr", segs, nil)
+}
+
+// macFrame handles a MAC frame in promiscuous mode: pure interrupt
+// overhead, which is the point of experiment E7.
+func (d *Driver) macFrame(f *ring.Frame) {
+	d.stats.RxMACFrames++
+	segs := []rtpc.Seg{
+		rtpc.Do("intr-dispatch", d.timing.IntrDispatchCost),
+		rtpc.Do("parse-mac", d.timing.MACFrameCost),
+	}
+	if d.cfg.PurgeInterrupt && f.MAC == ring.MACRingPurge {
+		segs = append(segs, rtpc.Mark("purge-seen", func() {
+			// Purge recovery is handled in txComplete via the status
+			// bit; nothing further here.
+			return
+		}))
+	}
+	d.k.CPU().Submit(kernel.LevelNet, "tr0.mac-intr", segs, nil)
+}
+
+// classOf maps a frame to its driver class by inspecting the payload tag.
+func classOf(f *ring.Frame) Class {
+	if p, ok := f.Payload.(*Outgoing); ok {
+		return p.Class
+	}
+	return ClassIP
+}
