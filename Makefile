@@ -1,0 +1,30 @@
+# CI entry points. `make ci` is what a runner should execute: the race
+# detector is load-bearing here — internal/lab introduced the repo's
+# goroutines, and TestLabPoolRace exists specifically to give -race real
+# interleavings to check.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench clean
+
+ci: vet build race bench
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# A one-iteration benchmark smoke: catches benchmarks that no longer
+# compile or panic, without paying for stable numbers.
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkSimulatorThroughput -benchtime 1x -benchmem .
+
+clean:
+	$(GO) clean ./...

@@ -3,6 +3,12 @@
 // DESIGN.md) and prints paper-vs-measured comparisons plus ASCII versions
 // of Figures 5-2, 5-3 and 5-4.
 //
+// The matrix fans out across a worker pool (every experiment is an
+// independent deterministic simulation), and each invocation writes a
+// machine-readable BENCH.json with per-experiment wall times, the
+// simulated-seconds-per-second throughput and allocation counts, so
+// successive revisions leave a perf trajectory.
+//
 // Usage:
 //
 //	ctmsbench                  # run everything at the default scale
@@ -10,18 +16,46 @@
 //	ctmsbench -full            # full 117-minute test-case durations
 //	ctmsbench -minutes 10      # custom duration for the long scenarios
 //	ctmsbench -markdown        # emit an EXPERIMENTS.md-style report
+//	ctmsbench -parallel 8      # worker count (default GOMAXPROCS)
+//	ctmsbench -benchout x.json # where to write the perf record ("" = off)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/sim"
 )
+
+// benchRecord is the BENCH.json schema (documented in EXPERIMENTS.md).
+type benchRecord struct {
+	Timestamp    string            `json:"timestamp"`
+	Parallelism  int               `json:"parallelism"`
+	GOMAXPROCS   int               `json:"gomaxprocs"`
+	ScaleMinutes float64           `json:"scale_minutes"`
+	WallSeconds  float64           `json:"wall_seconds"`
+	SimSeconds   float64           `json:"sim_seconds"`
+	SimSecPerSec float64           `json:"sim_seconds_per_second"`
+	Mallocs      uint64            `json:"mallocs"`
+	AllocBytes   uint64            `json:"alloc_bytes"`
+	Failures     int               `json:"failures"`
+	Experiments  []benchExperiment `json:"experiments"`
+}
+
+type benchExperiment struct {
+	ID          string  `json:"id"`
+	Source      string  `json:"source"`
+	Title       string  `json:"title"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Metrics     int     `json:"metrics"`
+	OK          bool    `json:"ok"`
+}
 
 func main() {
 	var (
@@ -30,6 +64,8 @@ func main() {
 		minutes    = flag.Float64("minutes", 4, "scenario duration in minutes (ignored with -full)")
 		seed       = flag.Int64("seed", 0, "override the default seed")
 		markdown   = flag.Bool("markdown", false, "emit a markdown report")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the matrix (1 = serial)")
+		benchout   = flag.String("benchout", "BENCH.json", "write the machine-readable perf record here (empty disables)")
 	)
 	flag.Parse()
 
@@ -50,29 +86,80 @@ func main() {
 		exps = []core.Experiment{e}
 	}
 
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+	simBefore := core.SimulatedTotal()
+	start := time.Now()
+
+	results := core.RunMatrix(exps, scale, *parallel)
+
+	wall := time.Since(start)
+	simRun := core.SimulatedTotal() - simBefore
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+
 	failures := 0
-	for _, e := range exps {
-		start := time.Now()
-		cmp := e.Run(scale)
-		elapsed := time.Since(start).Round(time.Millisecond)
+	rec := benchRecord{
+		Timestamp:    start.UTC().Format(time.RFC3339),
+		Parallelism:  *parallel,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		ScaleMinutes: float64(scale.Duration) / float64(sim.Minute),
+		WallSeconds:  wall.Seconds(),
+		SimSeconds:   simRun.Seconds(),
+		SimSecPerSec: simRun.Seconds() / wall.Seconds(),
+		Mallocs:      after.Mallocs - before.Mallocs,
+		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+	}
+	for _, mr := range results {
+		ok := mr.Comparison.AllOK()
+		if !ok {
+			failures++
+		}
+		rec.Experiments = append(rec.Experiments, benchExperiment{
+			ID:          mr.Experiment.ID,
+			Source:      mr.Experiment.Source,
+			Title:       mr.Experiment.Title,
+			WallSeconds: mr.Wall.Seconds(),
+			Metrics:     len(mr.Comparison.Metrics),
+			OK:          ok,
+		})
 		if *markdown {
-			printMarkdown(e, cmp)
+			printMarkdown(mr.Experiment, mr.Comparison)
 		} else {
-			fmt.Printf("=== %s (%s) %s  [wall %v]\n", e.ID, e.Source, e.Title, elapsed)
-			fmt.Print(cmp.Render())
-			for name, fig := range cmp.Figures {
+			fmt.Printf("=== %s (%s) %s  [wall %v]\n",
+				mr.Experiment.ID, mr.Experiment.Source, mr.Experiment.Title, mr.Wall.Round(time.Millisecond))
+			fmt.Print(mr.Comparison.Render())
+			for name, fig := range mr.Comparison.Figures {
 				fmt.Printf("\n%s\n%s\n", name, fig)
 			}
 			fmt.Println()
 		}
-		if !cmp.AllOK() {
-			failures++
+	}
+	rec.Failures = failures
+
+	if !*markdown {
+		fmt.Printf("--- matrix wall %v, %.0f simulated s (%.0f simsec/s), parallel %d\n",
+			wall.Round(time.Millisecond), rec.SimSeconds, rec.SimSecPerSec, *parallel)
+	}
+
+	if *benchout != "" {
+		if err := writeBench(*benchout, rec); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+			os.Exit(1)
 		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "ctmsbench: %d experiment(s) deviated from the paper's shape\n", failures)
 		os.Exit(1)
 	}
+}
+
+func writeBench(path string, rec benchRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 func printMarkdown(e core.Experiment, cmp *core.Comparison) {

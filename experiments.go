@@ -60,7 +60,30 @@ func RunExperiment(id string, duration time.Duration) (*ExperimentResult, error)
 	if !ok {
 		return nil, fmt.Errorf("ctms: unknown experiment %q", id)
 	}
-	cmp := e.Run(core.Scale{Duration: sim.Time(duration)})
+	return resultFromComparison(e, e.Run(core.Scale{Duration: sim.Time(duration)})), nil
+}
+
+// RunAllExperiments runs the full reproduction matrix (E1–E16) across
+// parallelism worker goroutines — 1 runs serially on the calling
+// goroutine, 0 selects GOMAXPROCS — and returns the results in matrix
+// order. duration scales the long scenarios exactly as in RunExperiment.
+//
+// Determinism guarantee: every experiment is a self-contained simulation
+// with its own scheduler and seeded RNG, dispatched with inputs fixed
+// before fan-out and collected by index — so the returned results,
+// including every metric string and rendered figure, are byte-identical
+// for any parallelism.
+func RunAllExperiments(parallelism int, duration time.Duration) []*ExperimentResult {
+	exps := core.Experiments()
+	scale := core.Scale{Duration: sim.Time(duration)}
+	out := make([]*ExperimentResult, len(exps))
+	for i, mr := range core.RunMatrix(exps, scale, parallelism) {
+		out[i] = resultFromComparison(mr.Experiment, mr.Comparison)
+	}
+	return out
+}
+
+func resultFromComparison(e core.Experiment, cmp *core.Comparison) *ExperimentResult {
 	res := &ExperimentResult{
 		Info:    ExperimentInfo{ID: e.ID, Source: e.Source, Title: e.Title},
 		Figures: cmp.Figures,
@@ -71,5 +94,5 @@ func RunExperiment(id string, duration time.Duration) (*ExperimentResult, error)
 			Name: m.Name, Paper: m.Paper, Measured: m.Measured, OK: m.OK,
 		})
 	}
-	return res, nil
+	return res
 }

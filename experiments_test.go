@@ -1,6 +1,9 @@
 package ctms_test
 
 import (
+	"fmt"
+	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -42,6 +45,67 @@ func TestRunExperimentPublic(t *testing.T) {
 	}
 	if _, err := ctms.RunExperiment("E99", 0); err == nil {
 		t.Fatal("unknown id must error")
+	}
+}
+
+// renderResults flattens every metric row, note and figure of a matrix
+// run into one byte string, so equality means "the user sees the same
+// report".
+func renderResults(results []*ctms.ExperimentResult) string {
+	var b strings.Builder
+	for _, r := range results {
+		fmt.Fprintf(&b, "== %s (%s) %s\n", r.Info.ID, r.Info.Source, r.Info.Title)
+		for _, m := range r.Metrics {
+			fmt.Fprintf(&b, "%s|%s|%s|%t\n", m.Name, m.Paper, m.Measured, m.OK)
+		}
+		for _, n := range r.Notes {
+			fmt.Fprintf(&b, "note:%s\n", n)
+		}
+		figs := make([]string, 0, len(r.Figures))
+		for name := range r.Figures {
+			figs = append(figs, name)
+		}
+		sort.Strings(figs)
+		for _, name := range figs {
+			fmt.Fprintf(&b, "fig:%s\n%s\n", name, r.Figures[name])
+		}
+	}
+	return b.String()
+}
+
+// TestRunAllExperimentsSerialParallelIdentical is the lab's determinism
+// guarantee: the full matrix run serially and across 8 workers must
+// produce byte-identical metric tables for all 16 experiments.
+func TestRunAllExperimentsSerialParallelIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix twice is too slow for -short")
+	}
+	const dur = 10 * time.Second // simulated
+	serial := ctms.RunAllExperiments(1, dur)
+	parallel := ctms.RunAllExperiments(8, dur)
+	if len(serial) != len(parallel) || len(serial) != len(ctms.Experiments()) {
+		t.Fatalf("matrix sizes differ: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if serial[i].Info.ID != parallel[i].Info.ID {
+			t.Fatalf("result order differs at %d: %s vs %s", i, serial[i].Info.ID, parallel[i].Info.ID)
+		}
+	}
+	s, p := renderResults(serial), renderResults(parallel)
+	if s != p {
+		line := 0
+		sl, pl := strings.Split(s, "\n"), strings.Split(p, "\n")
+		for line < len(sl) && line < len(pl) && sl[line] == pl[line] {
+			line++
+		}
+		sGot, pGot := "<eof>", "<eof>"
+		if line < len(sl) {
+			sGot = sl[line]
+		}
+		if line < len(pl) {
+			pGot = pl[line]
+		}
+		t.Fatalf("serial and parallel matrices diverge at line %d:\nserial:   %s\nparallel: %s", line, sGot, pGot)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/lab"
 	"repro/internal/sim"
 )
 
@@ -22,48 +23,106 @@ func sustainable(r *Results) bool {
 	return r.DeliveredFraction() > 0.999 && perMin <= 1
 }
 
+// SweepSeed derives the RNG seed for one sweep point from the sweep's base
+// seed and the point's rate. Every rate gets its own independent stream:
+// without this, all points of a sweep would replay the same background
+// traffic and the sweep would measure one unlucky (or lucky) sample of the
+// environment at every rate. The mixing is a splitmix64-style finalizer so
+// that nearby rates (16000 vs 16001) land on unrelated seeds.
+func SweepSeed(base int64, rateBytesPerSec int) int64 {
+	h := uint64(base) ^ uint64(rateBytesPerSec)*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int64(h)
+}
+
+// sweepConfig builds the configuration for one rate point, or an error if
+// the rate does not fit the ring MTU model.
+func sweepConfig(protocol Protocol, rate int, dur sim.Time, seed int64) (Config, error) {
+	var cfg Config
+	if protocol == ProtocolStockUnix {
+		cfg = StockUnix(rate)
+	} else {
+		cfg = TestCaseB()
+		cfg.PacketBytes = rate * int(cfg.Interval) / int(sim.Second)
+		cfg.Name = fmt.Sprintf("ctmsp-%dKBps", rate/1000)
+	}
+	if cfg.PacketBytes < 64 {
+		cfg.PacketBytes = 64
+	}
+	if cfg.PacketBytes > 3800 {
+		return cfg, fmt.Errorf("core: rate %d needs packets beyond the ring MTU model", rate)
+	}
+	cfg.Duration = dur
+	cfg.Insertions = false
+	base := seed
+	if base == 0 {
+		base = cfg.Seed
+	}
+	cfg.Seed = SweepSeed(base, rate)
+	return cfg, nil
+}
+
 // RateSweep runs a protocol at each rate and reports the outcomes. The
 // stream keeps the VCA's 12 ms interval; the packet size scales with the
 // rate (as the paper's own 16 KB/s vs 150 KB/s tests did).
+//
+// The points are independent simulations — each gets a seed derived with
+// SweepSeed from the sweep's base seed (the default scenario seed when
+// seed is zero) — so they fan out across all cores via lab.Pool. Results
+// come back in rate order regardless of which point finishes first, and
+// the output is bit-for-bit identical to a serial sweep.
 func RateSweep(protocol Protocol, rates []int, dur sim.Time, seed int64) ([]SweepPoint, error) {
-	var out []SweepPoint
-	for _, rate := range rates {
-		var cfg Config
-		if protocol == ProtocolStockUnix {
-			cfg = StockUnix(rate)
-		} else {
-			cfg = TestCaseB()
-			cfg.PacketBytes = rate * int(cfg.Interval) / int(sim.Second)
-			cfg.Name = fmt.Sprintf("ctmsp-%dKBps", rate/1000)
-		}
-		if cfg.PacketBytes < 64 {
-			cfg.PacketBytes = 64
-		}
-		if cfg.PacketBytes > 3800 {
-			return out, fmt.Errorf("core: rate %d needs packets beyond the ring MTU model", rate)
-		}
-		cfg.Duration = dur
-		cfg.Insertions = false
-		if seed != 0 {
-			cfg.Seed = seed
-		}
-		r, err := Run(cfg)
+	// Validate every point up front so a bad rate fails before any
+	// simulation time is spent; points before the first bad rate still
+	// run, matching the old serial semantics.
+	n := len(rates)
+	cfgs := make([]Config, n)
+	var cfgErr error
+	for i, rate := range rates {
+		cfg, err := sweepConfig(protocol, rate, dur, seed)
 		if err != nil {
-			return out, err
+			cfgErr, n = err, i
+			break
 		}
-		out = append(out, SweepPoint{
-			RateBytesPerSec: rate,
+		cfgs[i] = cfg
+	}
+
+	out := make([]SweepPoint, n)
+	errs := make([]error, n)
+	lab.New(0).Run(n, func(i int) {
+		r, err := Run(cfgs[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		out[i] = SweepPoint{
+			RateBytesPerSec: rates[i],
 			Delivered:       r.DeliveredFraction(),
 			Glitches:        r.Playout.Glitches,
 			TxCPU:           r.TxCPUUtil,
 			RxCPU:           r.RxCPUUtil,
 			Sustainable:     sustainable(r),
-		})
+		}
+	})
+	for i, err := range errs {
+		if err != nil {
+			return out[:i], err
+		}
+	}
+	if cfgErr != nil {
+		return out, cfgErr
 	}
 	return out, nil
 }
 
 // Crossover reports the highest sustainable rate in a sweep (0 if none).
+// The scan is order-independent, so non-monotone sweeps — a sustainable
+// point above an unsustainable one — still report the highest rate that
+// carried the stream.
 func Crossover(points []SweepPoint) int {
 	best := 0
 	for _, p := range points {
@@ -76,7 +135,9 @@ func Crossover(points []SweepPoint) int {
 
 // runE15 sweeps both paths across the rate axis: the stock UNIX model
 // must fall over somewhere between the paper's 16 KB/s (works) and
-// 150 KB/s (fails); CTMSP must carry 150 KB/s and beyond.
+// 150 KB/s (fails); CTMSP must carry 150 KB/s and beyond. The two sweeps
+// are themselves independent, so they dispatch concurrently; each fans
+// its rate points across the pool.
 func runE15(s Scale) *Comparison {
 	c := &Comparison{}
 	dur := 45 * sim.Second
@@ -85,14 +146,21 @@ func runE15(s Scale) *Comparison {
 	}
 	rates := []int{16_000, 48_000, 96_000, 150_000, 200_000, 250_000}
 
-	stock, err := RateSweep(ProtocolStockUnix, rates, dur, s.Seed)
-	if err != nil {
-		c.addf("stock sweep", "-", false, "error: %v", err)
+	var stock, ctmsp []SweepPoint
+	errs := make([]error, 2)
+	lab.New(2).Run(2, func(i int) {
+		if i == 0 {
+			stock, errs[0] = RateSweep(ProtocolStockUnix, rates, dur, s.Seed)
+		} else {
+			ctmsp, errs[1] = RateSweep(ProtocolCTMSP, rates, dur, s.Seed)
+		}
+	})
+	if errs[0] != nil {
+		c.addf("stock sweep", "-", false, "error: %v", errs[0])
 		return c
 	}
-	ctmsp, err := RateSweep(ProtocolCTMSP, rates, dur, s.Seed)
-	if err != nil {
-		c.addf("ctmsp sweep", "-", false, "error: %v", err)
+	if errs[1] != nil {
+		c.addf("ctmsp sweep", "-", false, "error: %v", errs[1])
 		return c
 	}
 

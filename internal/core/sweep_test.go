@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCrossoverEmpty(t *testing.T) {
+	if got := Crossover(nil); got != 0 {
+		t.Fatalf("Crossover(nil) = %d, want 0", got)
+	}
+	if got := Crossover([]SweepPoint{}); got != 0 {
+		t.Fatalf("Crossover(empty) = %d, want 0", got)
+	}
+}
+
+func TestCrossoverNoSustainablePoint(t *testing.T) {
+	points := []SweepPoint{
+		{RateBytesPerSec: 16_000, Sustainable: false},
+		{RateBytesPerSec: 150_000, Sustainable: false},
+	}
+	if got := Crossover(points); got != 0 {
+		t.Fatalf("Crossover with nothing sustainable = %d, want 0", got)
+	}
+}
+
+func TestCrossoverNonMonotone(t *testing.T) {
+	// Sustainability need not be monotone in rate (an unlucky middle
+	// point): the crossover is the highest sustainable rate, full stop.
+	points := []SweepPoint{
+		{RateBytesPerSec: 16_000, Sustainable: true},
+		{RateBytesPerSec: 48_000, Sustainable: false},
+		{RateBytesPerSec: 96_000, Sustainable: true},
+		{RateBytesPerSec: 150_000, Sustainable: false},
+	}
+	if got := Crossover(points); got != 96_000 {
+		t.Fatalf("non-monotone crossover = %d, want 96000", got)
+	}
+	// Order independence: shuffled input, same answer.
+	shuffled := []SweepPoint{points[2], points[3], points[0], points[1]}
+	if got := Crossover(shuffled); got != 96_000 {
+		t.Fatalf("shuffled crossover = %d, want 96000", got)
+	}
+}
+
+// TestSweepSeedIndependentStreams is the regression test for the sweep
+// seeding bug: two rates at the same base seed used to run the very same
+// RNG streams, so every point of a sweep replayed identical background
+// traffic. Per-point derivation must give distinct seeds — and distinct
+// streams — while staying reproducible.
+func TestSweepSeedIndependentStreams(t *testing.T) {
+	const base = 1991
+	s16 := SweepSeed(base, 16_000)
+	s150 := SweepSeed(base, 150_000)
+	if s16 == s150 {
+		t.Fatalf("rates 16k and 150k share seed %d", s16)
+	}
+	if s16 != SweepSeed(base, 16_000) {
+		t.Fatal("SweepSeed is not a pure function of (base, rate)")
+	}
+	// The derived RNG streams must actually diverge, not just the seeds.
+	a, b := sim.NewRNG(s16), sim.NewRNG(s150)
+	same := true
+	for i := 0; i < 8; i++ {
+		if a.Float64() != b.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("derived RNGs produce identical streams")
+	}
+	// Different base seeds must move every point.
+	if SweepSeed(1, 16_000) == SweepSeed(2, 16_000) {
+		t.Fatal("base seed does not reach the derived seed")
+	}
+}
+
+// TestSweepConfigDerivesPerPointSeed checks the wiring: the sweep's
+// configs carry SweepSeed-derived seeds, with the scenario default as the
+// base when no seed override is given.
+func TestSweepConfigDerivesPerPointSeed(t *testing.T) {
+	deflt := TestCaseB().Seed
+	cfg16, err := sweepConfig(ProtocolCTMSP, 16_000, sim.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg150, err := sweepConfig(ProtocolCTMSP, 150_000, sim.Second, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg16.Seed != SweepSeed(deflt, 16_000) || cfg150.Seed != SweepSeed(deflt, 150_000) {
+		t.Fatalf("sweep seeds not derived from the default base: %d, %d", cfg16.Seed, cfg150.Seed)
+	}
+	if cfg16.Seed == cfg150.Seed {
+		t.Fatal("sweep points share a seed")
+	}
+	over, err := sweepConfig(ProtocolCTMSP, 16_000, sim.Second, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if over.Seed != SweepSeed(7, 16_000) {
+		t.Fatalf("seed override ignored: %d", over.Seed)
+	}
+}
+
+func TestRateSweepRejectsOversizedRate(t *testing.T) {
+	// 400 KB/s needs packets beyond the ring MTU model; the points before
+	// it still run and come back in order.
+	points, err := RateSweep(ProtocolCTMSP, []int{16_000, 400_000}, 2*sim.Second, 0)
+	if err == nil {
+		t.Fatal("oversized rate must error")
+	}
+	if len(points) != 1 || points[0].RateBytesPerSec != 16_000 {
+		t.Fatalf("points before the bad rate should survive: %+v", points)
+	}
+}

@@ -8,13 +8,20 @@ import (
 // Event is a scheduled callback. The zero value is not useful; events are
 // created through Scheduler.At and Scheduler.After and may be cancelled
 // before they fire.
+//
+// Ownership: an Event pointer is valid from the moment it is scheduled
+// until the event fires or is cancelled. After that the scheduler recycles
+// the object through a free list, so a retained pointer may later refer to
+// a different, unrelated event. Cancel a pending event as many times as
+// you like; do not keep the pointer around once the event has run.
 type Event struct {
 	at        Time
 	seq       uint64
 	fn        func()
 	name      string
 	cancelled bool
-	index     int // position in the heap, -1 once popped
+	index     int        // position in the heap, -1 once popped
+	s         *Scheduler // owner, for eager removal and recycling
 }
 
 // When reports the simulated time at which the event is due to fire.
@@ -23,9 +30,20 @@ func (e *Event) When() Time { return e.at }
 // Name reports the diagnostic label given when the event was scheduled.
 func (e *Event) Name() string { return e.name }
 
-// Cancel prevents the event from firing. Cancelling an event that has
-// already fired or was already cancelled is a no-op.
-func (e *Event) Cancel() { e.cancelled = true }
+// Cancel prevents the event from firing and removes it from the queue
+// immediately, so long runs that schedule and cancel many timers do not
+// grow the heap. Cancelling an event that has already fired or was
+// already cancelled is a no-op.
+func (e *Event) Cancel() {
+	if e.cancelled || e.index < 0 {
+		return
+	}
+	e.cancelled = true
+	if e.s != nil {
+		heap.Remove(&e.s.events, e.index)
+		e.s.recycle(e)
+	}
+}
 
 // Cancelled reports whether Cancel has been called on the event.
 func (e *Event) Cancelled() bool { return e.cancelled }
@@ -66,9 +84,38 @@ type Scheduler struct {
 	now     Time
 	seq     uint64
 	events  eventHeap
+	free    []*Event // recycled Event objects, reused by At/After
 	stopped bool
 	fired   uint64
 	trace   *Trace
+}
+
+// maxFreeEvents caps the free list so a transient burst of timers does not
+// pin memory for the rest of the run.
+const maxFreeEvents = 1024
+
+// alloc reuses a recycled Event when one is available. The simulation's
+// steady state (handlers that fire and re-arm) runs entirely off the free
+// list, so the inner event loop stops allocating per event.
+func (s *Scheduler) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		e.cancelled = false
+		return e
+	}
+	return &Event{s: s}
+}
+
+// recycle returns a popped or cancelled event to the free list, dropping
+// its closure and name so they can be collected.
+func (s *Scheduler) recycle(e *Event) {
+	e.fn = nil
+	e.name = ""
+	if len(s.free) < maxFreeEvents {
+		s.free = append(s.free, e)
+	}
 }
 
 // NewScheduler returns a scheduler with the clock at zero.
@@ -93,7 +140,8 @@ func (s *Scheduler) SetTrace(t *Trace) { s.trace = t }
 func (s *Scheduler) At(t Time, name string, fn func()) *Event {
 	Checkf(t >= s.now, "event %q scheduled at %v, before now %v", name, t, s.now)
 	Checkf(fn != nil, "event %q scheduled with nil callback", name)
-	e := &Event{at: t, seq: s.seq, fn: fn, name: name}
+	e := s.alloc()
+	e.at, e.seq, e.fn, e.name = t, s.seq, fn, name
 	s.seq++
 	heap.Push(&s.events, e)
 	return e
@@ -147,34 +195,28 @@ func (r *Repeater) Stop() {
 func (s *Scheduler) Stop() { s.stopped = true }
 
 // Pending reports the number of live (non-cancelled) events in the queue.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, e := range s.events {
-		if !e.cancelled {
-			n++
-		}
-	}
-	return n
-}
+// Cancelled events are removed from the heap eagerly, so this is just the
+// heap's length — O(1), safe to poll from hot paths.
+func (s *Scheduler) Pending() int { return len(s.events) }
 
 // step dispatches the earliest pending event. It reports false when the
-// queue is empty.
+// queue is empty. The heap never holds cancelled events (Cancel removes
+// them eagerly), so the head is always live.
 func (s *Scheduler) step() bool {
-	for len(s.events) > 0 {
-		e := heap.Pop(&s.events).(*Event)
-		if e.cancelled {
-			continue
-		}
-		Checkf(e.at >= s.now, "time went backwards: event %q at %v, now %v", e.name, e.at, s.now)
-		s.now = e.at
-		s.fired++
-		if s.trace != nil {
-			s.trace.Add(s.now, e.name)
-		}
-		e.fn()
-		return true
+	if len(s.events) == 0 {
+		return false
 	}
-	return false
+	e := heap.Pop(&s.events).(*Event)
+	Checkf(e.at >= s.now, "time went backwards: event %q at %v, now %v", e.name, e.at, s.now)
+	s.now = e.at
+	s.fired++
+	if s.trace != nil {
+		s.trace.Add(s.now, e.name)
+	}
+	fn := e.fn
+	s.recycle(e)
+	fn()
+	return true
 }
 
 // Run dispatches events until the queue drains or Stop is called.
@@ -189,19 +231,8 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(t Time) {
 	Checkf(t >= s.now, "RunUntil(%v) is before now %v", t, s.now)
 	s.stopped = false
-	for !s.stopped {
-		// Peek without popping.
-		if len(s.events) == 0 {
-			break
-		}
-		next := s.events[0]
-		if next.cancelled {
-			heap.Pop(&s.events)
-			continue
-		}
-		if next.at > t {
-			break
-		}
+	// Peek without popping; the head is always a live event.
+	for !s.stopped && len(s.events) > 0 && s.events[0].at <= t {
 		s.step()
 	}
 	if s.now < t {

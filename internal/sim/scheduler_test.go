@@ -161,6 +161,78 @@ func TestSchedulerPendingCountsLiveEvents(t *testing.T) {
 	}
 }
 
+func TestSchedulerEventFreeListReuse(t *testing.T) {
+	s := NewScheduler()
+	e1 := s.After(Microsecond, "first", func() {})
+	s.Run()
+	// The fired event must be recycled: the next scheduling reuses the
+	// same object instead of allocating.
+	e2 := s.After(Microsecond, "second", func() {})
+	if e1 != e2 {
+		t.Fatal("fired event was not recycled through the free list")
+	}
+	if e2.Cancelled() || e2.Name() != "second" {
+		t.Fatalf("recycled event kept stale state: cancelled=%t name=%q", e2.Cancelled(), e2.Name())
+	}
+	fired := false
+	e3 := s.After(Microsecond, "third", func() { fired = true })
+	e3.Cancel()
+	e4 := s.After(Microsecond, "fourth", func() {})
+	if e3 != e4 {
+		t.Fatal("cancelled event was not recycled")
+	}
+	s.Run()
+	if fired {
+		t.Fatal("cancelled callback ran after its event was recycled")
+	}
+}
+
+func TestSchedulerCancelRemovesEagerly(t *testing.T) {
+	s := NewScheduler()
+	var events []*Event
+	for i := 0; i < 100; i++ {
+		events = append(events, s.At(Time(i+1)*Millisecond, "e", func() {}))
+	}
+	for i, e := range events {
+		if i%2 == 0 {
+			e.Cancel()
+		}
+	}
+	// Cancelled events leave the heap immediately — the queue must not
+	// grow with dead entries on long runs with many cancels.
+	if got := s.Pending(); got != 50 {
+		t.Fatalf("want 50 pending after eager removal, got %d", got)
+	}
+	if got := len(s.events); got != 50 {
+		t.Fatalf("heap still holds %d entries, want 50", got)
+	}
+	fired := 0
+	for s.step() {
+		fired++
+	}
+	if fired != 50 {
+		t.Fatalf("want the 50 live events to fire, got %d", fired)
+	}
+	// Double-cancel and cancel-after-run stay no-ops.
+	events[1].Cancel()
+}
+
+func TestSchedulerCancelDuringRun(t *testing.T) {
+	s := NewScheduler()
+	var firedB bool
+	var eb *Event
+	s.At(Millisecond, "a", func() { eb.Cancel() })
+	eb = s.At(2*Millisecond, "b", func() { firedB = true })
+	s.At(3*Millisecond, "c", func() {})
+	s.Run()
+	if firedB {
+		t.Fatal("event cancelled mid-run still fired")
+	}
+	if s.Now() != 3*Millisecond {
+		t.Fatalf("run should continue past the cancellation, now %v", s.Now())
+	}
+}
+
 // Property: for any set of non-negative delays, events dispatch in
 // non-decreasing time order and the clock never moves backwards.
 func TestSchedulerMonotoneClockProperty(t *testing.T) {
