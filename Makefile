@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench clean
+.PHONY: ci vet build test race bench api-check api-golden clean
 
-ci: vet build race bench
+ci: vet build race bench api-check
 
 vet:
 	$(GO) vet ./...
@@ -25,6 +25,17 @@ race:
 # compile or panic, without paying for stable numbers.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSimulatorThroughput -benchtime 1x -benchmem .
+
+# The public API surface (go doc -all of the root package) is pinned in
+# api/golden.txt: api-check fails on any drift, api-golden accepts it.
+# Pinning go doc output catches signature changes AND doc-comment changes,
+# both of which are API in a reproduction whose README quotes them.
+api-check:
+	$(GO) doc -all . | diff -u api/golden.txt - \
+		|| { echo "public API drifted from api/golden.txt; run 'make api-golden' to accept"; exit 1; }
+
+api-golden:
+	$(GO) doc -all . > api/golden.txt
 
 clean:
 	$(GO) clean ./...

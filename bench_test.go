@@ -85,6 +85,10 @@ func BenchmarkRouterForwarding(b *testing.B) { benchExperiment(b, "E14") }
 // the paper's title question at higher rates.
 func BenchmarkRing16Mbit(b *testing.B) { benchExperiment(b, "E16") }
 
+// BenchmarkSessionSweep is E17: the multi-stream admission sweep, the
+// free-for-all ablation and the class-ordered shedding run.
+func BenchmarkSessionSweep(b *testing.B) { benchExperiment(b, "E17") }
+
 // BenchmarkSimulatorThroughput measures the raw discrete-event engine:
 // simulated seconds of Test Case A per wall second.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -1,5 +1,5 @@
 // Command ctmsbench regenerates every table and figure of the paper's
-// evaluation: it runs the reproduction matrix (experiments E1–E16 of
+// evaluation: it runs the reproduction matrix (experiments E1–E17 of
 // DESIGN.md) and prints paper-vs-measured comparisons plus ASCII versions
 // of Figures 5-2, 5-3 and 5-4.
 //
@@ -18,6 +18,12 @@
 //	ctmsbench -markdown        # emit an EXPERIMENTS.md-style report
 //	ctmsbench -parallel 8      # worker count (default GOMAXPROCS)
 //	ctmsbench -benchout x.json # where to write the perf record ("" = off)
+//	ctmsbench -scenario f.json # run custom Options scenario(s) from a file
+//
+// A scenario file holds one JSON-encoded ctms.Options object or an array
+// of them (the format testdata/options.golden.json pins; durations accept
+// "12ms"-style strings or nanosecond counts). Scenario mode runs each one
+// and prints its report instead of the experiment matrix.
 package main
 
 import (
@@ -29,6 +35,7 @@ import (
 	"strings"
 	"time"
 
+	ctms "repro"
 	"repro/internal/core"
 	"repro/internal/sim"
 )
@@ -59,7 +66,8 @@ type benchExperiment struct {
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "", "run a single experiment (E1..E16)")
+		experiment = flag.String("experiment", "", "run a single experiment (E1..E17)")
+		scenario   = flag.String("scenario", "", "run ctms.Options scenario(s) from a JSON file")
 		full       = flag.Bool("full", false, "run the paper's full 117-minute durations")
 		minutes    = flag.Float64("minutes", 4, "scenario duration in minutes (ignored with -full)")
 		seed       = flag.Int64("seed", 0, "override the default seed")
@@ -68,6 +76,14 @@ func main() {
 		benchout   = flag.String("benchout", "BENCH.json", "write the machine-readable perf record here (empty disables)")
 	)
 	flag.Parse()
+
+	if *scenario != "" {
+		if err := runScenarios(*scenario, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := core.Scale{Seed: *seed}
 	if *full {
@@ -152,6 +168,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ctmsbench: %d experiment(s) deviated from the paper's shape\n", failures)
 		os.Exit(1)
 	}
+}
+
+// runScenarios loads a JSON scenario file (one ctms.Options or an array)
+// and runs each scenario, printing its report. A nonzero seed overrides
+// every scenario's own.
+func runScenarios(path string, seed int64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	scenarios, err := ctms.LoadScenarios(data)
+	if err != nil {
+		return err
+	}
+	for i, opts := range scenarios {
+		if seed != 0 {
+			opts.Seed = seed
+		}
+		start := time.Now()
+		res, err := ctms.Run(opts)
+		if err != nil {
+			return fmt.Errorf("scenario %d (%s): %w", i, opts.Name, err)
+		}
+		fmt.Printf("=== scenario %s  [wall %v]\n%s\n", res.Name, time.Since(start).Round(time.Millisecond), res.Report)
+	}
+	return nil
 }
 
 func writeBench(path string, rec benchRecord) error {

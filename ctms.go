@@ -19,10 +19,14 @@
 //
 // Options exposes every configuration toggle §5.3 of the paper lists, so
 // any of its scenarios — and the ablations between them — can be run.
+// Options also round-trips through JSON (the ctmsbench -scenario format).
+//
+// Session runs N concurrent CTMSP streams over one ring behind an
+// admission controller — the multi-stream layer §3's bandwidth-guarantee
+// argument implies; see NewSession.
 package ctms
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -113,6 +117,10 @@ type Options struct {
 	// burst) at the given offset; zero disables it.
 	ForceInsertionAt time.Duration
 
+	// RingBitRate overrides the ring's signalling rate in bits/s
+	// (0 = the paper's 4 Mbit/s; 16 Mbit/s is experiment E16's what-if).
+	RingBitRate int64
+
 	// PlayoutPrebuffer delays playback after the first packet.
 	PlayoutPrebuffer time.Duration
 
@@ -144,8 +152,8 @@ func fromCore(c core.Config) Options {
 		Duration:                c.Duration.Std(),
 		PacketBytes:             c.PacketBytes,
 		Interval:                c.Interval.Std(),
-		Protocol:                protoFrom(c.Protocol),
-		Tool:                    toolFrom(c.Tool),
+		Protocol:                protocolTable.fromCore(c.Protocol),
+		Tool:                    toolTable.fromCore(c.Tool),
 		TxIOChannelMemory:       c.TxIOChannelMemory,
 		TxCopyHeaderOnly:        c.TxCopyHeaderOnly,
 		TxCopyVCAToMbufs:        c.TxCopyVCAToMbufs,
@@ -158,10 +166,11 @@ func fromCore(c core.Config) Options {
 		PurgeInterrupt:          c.PurgeInterrupt,
 		DriverRaceBug:           c.DriverRaceBug,
 		PublicNetwork:           c.PublicNetwork,
-		NetworkLoad:             loadFrom(c.NetworkLoad),
+		NetworkLoad:             loadTable.fromCore(c.NetworkLoad),
 		Multiprocessing:         c.Multiprocessing,
 		Insertions:              c.Insertions,
 		ForceInsertionAt:        c.ForceInsertionAt.Std(),
+		RingBitRate:             c.RingBitRate,
 		PlayoutPrebuffer:        c.PlayoutPrebuffer.Std(),
 		HistogramBinWidthMicros: c.HistogramBinWidth,
 	}
@@ -189,65 +198,61 @@ func (o Options) toCore() (core.Config, error) {
 		Multiprocessing:   o.Multiprocessing,
 		Insertions:        o.Insertions,
 		ForceInsertionAt:  sim.Time(o.ForceInsertionAt),
+		RingBitRate:       o.RingBitRate,
 		PlayoutPrebuffer:  sim.Time(o.PlayoutPrebuffer),
 		HistogramBinWidth: o.HistogramBinWidthMicros,
 	}
-	switch o.Protocol {
-	case CTMSP, "":
-		c.Protocol = core.ProtocolCTMSP
-	case StockUnix:
-		c.Protocol = core.ProtocolStockUnix
-	default:
-		return c, fmt.Errorf("ctms: unknown protocol %q", o.Protocol)
+	var err error
+	if c.Protocol, err = protocolTable.toCore(o.Protocol); err != nil {
+		return c, err
 	}
-	switch o.Tool {
-	case LogicAnalyzer, "":
-		c.Tool = core.ToolLogicAnalyzer
-	case PCAT:
-		c.Tool = core.ToolPCAT
-	case PseudoDev:
-		c.Tool = core.ToolPseudoDev
-	default:
-		return c, fmt.Errorf("ctms: unknown tool %q", o.Tool)
+	if c.Tool, err = toolTable.toCore(o.Tool); err != nil {
+		return c, err
 	}
-	switch o.NetworkLoad {
-	case LoadNone, "":
-		c.NetworkLoad = core.LoadNone
-	case LoadNormal:
-		c.NetworkLoad = core.LoadNormal
-	case LoadHeavy:
-		c.NetworkLoad = core.LoadHeavy
-	default:
-		return c, fmt.Errorf("ctms: unknown load %q", o.NetworkLoad)
+	if c.NetworkLoad, err = loadTable.toCore(o.NetworkLoad); err != nil {
+		return c, err
 	}
 	return c, nil
 }
 
-func protoFrom(p core.Protocol) Protocol {
-	if p == core.ProtocolStockUnix {
-		return StockUnix
+// The three Options enums and their internal counterparts, each in one
+// table serving both directions (see enumTable).
+var (
+	protocolTable = enumTable[Protocol, core.Protocol]{
+		kind: "protocol", def: CTMSP,
+		vals: []enumPair[Protocol, core.Protocol]{
+			{CTMSP, core.ProtocolCTMSP},
+			{StockUnix, core.ProtocolStockUnix},
+		},
 	}
-	return CTMSP
-}
+	toolTable = enumTable[Tool, core.Tool]{
+		kind: "tool", def: LogicAnalyzer,
+		vals: []enumPair[Tool, core.Tool]{
+			{LogicAnalyzer, core.ToolLogicAnalyzer},
+			{PCAT, core.ToolPCAT},
+			{PseudoDev, core.ToolPseudoDev},
+		},
+	}
+	loadTable = enumTable[Load, core.LoadLevel]{
+		kind: "load", def: LoadNone,
+		vals: []enumPair[Load, core.LoadLevel]{
+			{LoadNone, core.LoadNone},
+			{LoadNormal, core.LoadNormal},
+			{LoadHeavy, core.LoadHeavy},
+		},
+	}
+)
 
-func toolFrom(t core.Tool) Tool {
-	switch t {
-	case core.ToolPCAT:
-		return PCAT
-	case core.ToolPseudoDev:
-		return PseudoDev
+// Validate reports configuration mistakes without running anything. An
+// unknown enum value produces an error listing every valid spelling; the
+// scenario-level checks (positive duration, packet size within the ring
+// MTU model, coherent toggles) are exactly the ones Run applies.
+func (o Options) Validate() error {
+	c, err := o.toCore()
+	if err != nil {
+		return err
 	}
-	return LogicAnalyzer
-}
-
-func loadFrom(l core.LoadLevel) Load {
-	switch l {
-	case core.LoadNormal:
-		return LoadNormal
-	case core.LoadHeavy:
-		return LoadHeavy
-	}
-	return LoadNone
+	return c.Validate()
 }
 
 // Run executes the experiment and returns its results.

@@ -1,0 +1,57 @@
+package ctms
+
+import (
+	"fmt"
+	"strings"
+)
+
+// enumTable maps one public string enum (Protocol, Tool, Load,
+// StreamClass) onto its internal counterpart. All four mappings used to
+// be hand-written switch blocks duplicated in both directions; the table
+// keeps each pairing in one place and gives every unknown value the same
+// error shape: the offending spelling plus the complete list of valid
+// ones, in declaration order.
+type enumTable[P ~string, C comparable] struct {
+	kind string // noun for error messages: "protocol", "tool", ...
+	def  P      // what the empty string means
+	vals []enumPair[P, C]
+}
+
+type enumPair[P ~string, C comparable] struct {
+	pub  P
+	core C
+}
+
+// toCore resolves a public spelling ("" selects the default) to the
+// internal value, or an error naming every valid spelling.
+func (t enumTable[P, C]) toCore(p P) (C, error) {
+	if p == "" {
+		p = t.def
+	}
+	for _, e := range t.vals {
+		if e.pub == p {
+			return e.core, nil
+		}
+	}
+	var zero C
+	return zero, fmt.Errorf("ctms: unknown %s %q (valid: %s)", t.kind, string(p), t.valid())
+}
+
+// fromCore renders an internal value in its public spelling. Unknown
+// internal values fall back to the default rather than inventing one.
+func (t enumTable[P, C]) fromCore(c C) P {
+	for _, e := range t.vals {
+		if e.core == c {
+			return e.pub
+		}
+	}
+	return t.def
+}
+
+func (t enumTable[P, C]) valid() string {
+	names := make([]string, len(t.vals))
+	for i, e := range t.vals {
+		names[i] = fmt.Sprintf("%q", string(e.pub))
+	}
+	return strings.Join(names, ", ")
+}

@@ -114,6 +114,7 @@ func Experiments() []Experiment {
 		{ID: "E14", Source: "fn 5", Title: "a router that keeps up with the CTMS rate", Run: runE14},
 		{ID: "E15", Source: "§1 (sweep)", Title: "rate sweep: capacity crossover of stock vs CTMSP", Run: runE15},
 		{ID: "E16", Source: "title", Title: "what-if: the 16 Mbit Token Ring", Run: runE16},
+		{ID: "E17", Source: "§3 (sessions)", Title: "multi-stream admission: the knee, the free-for-all, the shed", Run: runE17},
 	}
 }
 

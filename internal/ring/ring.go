@@ -84,9 +84,11 @@ type Ring struct {
 	purging    bool
 	purgeEnd   sim.Time
 
-	taps []Tap
-	seq  uint64
-	c    Counters
+	taps       []Tap
+	purgeHooks []func(at sim.Time)
+	reserved   int64
+	seq        uint64
+	c          Counters
 }
 
 // New creates a ring driven by sched.
@@ -123,6 +125,26 @@ func (r *Ring) Utilization() float64 {
 
 // AddTap registers a promiscuous monitor.
 func (r *Ring) AddTap(t Tap) { r.taps = append(r.taps, t) }
+
+// OnPurge registers fn to run at the start of every Ring Purge. Real
+// adapters cannot interrupt the host on a purge (§4), so this hook models
+// what a ring-attached observer — the Active Monitor's view, or an
+// admission controller watching effective capacity — can see, not what a
+// station's driver can.
+func (r *Ring) OnPurge(fn func(at sim.Time)) { r.purgeHooks = append(r.purgeHooks, fn) }
+
+// ReserveBits records bandwidth (bits/s) promised to a connection by an
+// admission controller; negative n releases a prior reservation. The ring
+// itself does not police reservations — the 802.5 priority mechanism is
+// the enforcement — but the bookkeeping lets tools report how much of the
+// wire is spoken for.
+func (r *Ring) ReserveBits(n int64) {
+	r.reserved += n
+	sim.Checkf(r.reserved >= 0, "ring reservation went negative")
+}
+
+// ReservedBits reports the bandwidth currently promised to connections.
+func (r *Ring) ReservedBits() int64 { return r.reserved }
 
 // WireTime reports how long a frame of n bytes occupies the ring,
 // including per-station repeat and cable latency.
@@ -309,6 +331,9 @@ func (req *txRequest) done(s DeliveryStatus) {
 func (r *Ring) Purge() {
 	now := r.sched.Now()
 	r.c.PurgeCount++
+	for _, fn := range r.purgeHooks {
+		fn(now)
+	}
 	if r.busy && r.current != nil {
 		req := r.current
 		r.current = nil
@@ -391,6 +416,6 @@ func (r *Ring) Current() *Frame {
 
 // String summarizes ring state.
 func (r *Ring) String() string {
-	return fmt.Sprintf("ring{stations=%d busy=%t purging=%t sent=%d util=%.2f%%}",
-		len(r.stations), r.busy, r.purging, r.c.FramesSent, 100*r.Utilization())
+	return fmt.Sprintf("ring{stations=%d busy=%t purging=%t sent=%d util=%.2f%% reserved=%dbps}",
+		len(r.stations), r.busy, r.purging, r.c.FramesSent, 100*r.Utilization(), r.reserved)
 }

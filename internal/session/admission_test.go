@@ -1,0 +1,70 @@
+package session
+
+import "testing"
+
+func TestControllerAdmitAgainstBudget(t *testing.T) {
+	// 4 Mbit/s ring, 90% cap, 400 kbit/s background → 3.2 Mbit/s to give.
+	c := NewController(4_000_000, 0.9, 400_000)
+	if got := c.EffectiveBits(); got != 3_200_000 {
+		t.Fatalf("effective: %d", got)
+	}
+	d1 := c.Admit(0, ClassStandard, 1_500_000)
+	d2 := c.Admit(1, ClassStandard, 1_500_000)
+	if !d1.Admitted || !d2.Admitted {
+		t.Fatalf("first two streams must fit: %+v %+v", d1, d2)
+	}
+	d3 := c.Admit(2, ClassInteractive, 1_500_000)
+	if d3.Admitted {
+		t.Fatalf("third stream must be rejected (only 200k left): %+v", d3)
+	}
+	if d3.Reason == "" {
+		t.Fatal("rejection must carry a reason")
+	}
+	// A smaller stream still fits the remainder.
+	if d4 := c.Admit(3, ClassBackground, 200_000); !d4.Admitted {
+		t.Fatalf("200k must fit the 200k remainder: %+v", d4)
+	}
+	if got := c.ReservedBits(); got != 3_200_000 {
+		t.Fatalf("reserved: %d", got)
+	}
+	c.Release(1)
+	if got := c.ReservedBits(); got != 1_700_000 {
+		t.Fatalf("reserved after release: %d", got)
+	}
+}
+
+func TestControllerShedOrder(t *testing.T) {
+	c := NewController(4_000_000, 1.0, 0)
+	c.Admit(0, ClassInteractive, 1_000_000)
+	c.Admit(1, ClassBackground, 1_000_000)
+	c.Admit(2, ClassStandard, 1_000_000)
+	c.Admit(3, ClassBackground, 1_000_000)
+
+	if shed := c.Overcommitted(); shed != nil {
+		t.Fatalf("nothing to shed at full capacity: %v", shed)
+	}
+	// Lose half the ring: must shed both background streams (newest
+	// first), keeping interactive and standard.
+	c.AddPenalty(2_000_000)
+	shed := c.Overcommitted()
+	if len(shed) != 2 || shed[0] != 3 || shed[1] != 1 {
+		t.Fatalf("shed order: %v (want [3 1])", shed)
+	}
+	// Overcommitted does not release; the caller does.
+	for _, id := range shed {
+		c.Release(id)
+	}
+	if got := c.Overcommitted(); got != nil {
+		t.Fatalf("fits after shedding: %v", got)
+	}
+	// Deeper loss eats into standard before interactive.
+	c.AddPenalty(1_500_000)
+	shed = c.Overcommitted()
+	if len(shed) != 2 || shed[0] != 2 || shed[1] != 0 {
+		t.Fatalf("second shed order: %v (want [2 0])", shed)
+	}
+	c.RemovePenalty(3_500_000)
+	if got := c.Overcommitted(); got != nil {
+		t.Fatalf("penalty removed, nothing to shed: %v", got)
+	}
+}

@@ -1,0 +1,490 @@
+package session
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ctmsp"
+	"repro/internal/kernel"
+	"repro/internal/playout"
+	"repro/internal/ring"
+	"repro/internal/rtpc"
+	"repro/internal/sim"
+	"repro/internal/tradapter"
+	"repro/internal/vca"
+	"repro/internal/workload"
+)
+
+// Defaults for the zero-valued Config knobs.
+const (
+	// DefaultUtilizationCap leaves ~10% of the wire for token rotation,
+	// MAC frames and the jitter the admission budget cannot see.
+	DefaultUtilizationCap = 0.90
+	// DefaultPurgePenaltyWindow amortizes one purge's outage: each purge
+	// subtracts capacity × (PurgeDuration / window) from the budget until
+	// the window expires, so a back-to-back burst (a station insertion)
+	// stacks into a real capacity loss while a lone purge barely dents it.
+	DefaultPurgePenaltyWindow = 250 * sim.Millisecond
+	// DefaultPrebuffer is the §6 playout prebuffer.
+	DefaultPrebuffer = 40 * sim.Millisecond
+	// defaultInsertionPurges is the paper's "on the order of 10"
+	// back-to-back purges per station insertion.
+	defaultInsertionPurges = 10
+	// populationStations matches internal/core's campus-ring population so
+	// per-station repeat latency is comparable across runners.
+	populationStations = 64
+	// maxOutstanding bounds packets a stream may queue in its Token Ring
+	// driver: past it the VCA handler drops at the device, which is how a
+	// starved stream degrades instead of buffering unboundedly.
+	maxOutstanding = 8
+)
+
+// StreamSpec describes one CTMSP stream a session wants to run.
+type StreamSpec struct {
+	// Name labels the stream in results.
+	Name string
+	// PacketBytes per packet (CTMSP header included), sent every Interval
+	// — the same shape as core.Config's single stream.
+	PacketBytes int
+	Interval    sim.Time
+	// Class sets admission priority, shed order and ring access priority.
+	Class Class
+}
+
+// OfferedBits is the ring bandwidth the stream needs: packet plus Token
+// Ring framing, every Interval.
+func (s StreamSpec) OfferedBits() int64 {
+	wire := s.PacketBytes + tradapter.RingOverhead
+	return int64(float64(wire*8) / s.Interval.Seconds())
+}
+
+func (s StreamSpec) validate(i int) error {
+	switch {
+	case s.PacketBytes <= ctmsp.HeaderSize || s.PacketBytes > 4000:
+		return fmt.Errorf("session: stream %d (%s): packet size %d out of range", i, s.Name, s.PacketBytes)
+	case s.Interval <= 0:
+		return fmt.Errorf("session: stream %d (%s): interval must be positive", i, s.Name)
+	case s.Class < ClassBackground || s.Class >= numClasses:
+		return fmt.Errorf("session: stream %d (%s): unknown class %d", i, s.Name, int(s.Class))
+	}
+	return nil
+}
+
+// Config describes one multi-stream session run.
+type Config struct {
+	Name     string
+	Seed     int64
+	Duration sim.Time
+
+	// RingBitRate overrides the 4 Mbit/s ring (0 = the paper's rate).
+	RingBitRate int64
+	// UtilizationCap is the fraction of the wire admission may promise
+	// (0 = DefaultUtilizationCap).
+	UtilizationCap float64
+	// BackgroundUtil is the offered background load as a fraction of the
+	// ring (MAC chatter plus file-transfer frames); the admission budget
+	// subtracts it.
+	BackgroundUtil float64
+	// DisableAdmission runs every stream regardless of budget — the
+	// free-for-all ablation E17 compares against. No shedding either.
+	DisableAdmission bool
+	// ForceInsertionAt injects one station insertion (a burst of
+	// back-to-back Ring Purges) at the given offset; zero disables.
+	ForceInsertionAt sim.Time
+	// PurgePenaltyWindow is how long one purge's capacity penalty lasts
+	// (0 = DefaultPurgePenaltyWindow).
+	PurgePenaltyWindow sim.Time
+	// PlayoutPrebuffer delays each stream's playback after its first
+	// packet (0 = DefaultPrebuffer).
+	PlayoutPrebuffer sim.Time
+
+	Streams []StreamSpec
+}
+
+// Validate reports configuration mistakes early.
+func (c Config) Validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("session: duration must be positive")
+	case len(c.Streams) == 0:
+		return fmt.Errorf("session: no streams")
+	case c.UtilizationCap < 0 || c.UtilizationCap > 1:
+		return fmt.Errorf("session: utilization cap %v out of [0,1]", c.UtilizationCap)
+	case c.BackgroundUtil < 0 || c.BackgroundUtil >= 1:
+		return fmt.Errorf("session: background utilization %v out of [0,1)", c.BackgroundUtil)
+	}
+	for i, s := range c.Streams {
+		if err := s.validate(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c Config) withDefaults() Config {
+	if c.RingBitRate == 0 {
+		c.RingBitRate = ring.DefaultConfig().BitRate
+	}
+	if c.UtilizationCap == 0 {
+		c.UtilizationCap = DefaultUtilizationCap
+	}
+	if c.PurgePenaltyWindow == 0 {
+		c.PurgePenaltyWindow = DefaultPurgePenaltyWindow
+	}
+	if c.PlayoutPrebuffer == 0 {
+		c.PlayoutPrebuffer = DefaultPrebuffer
+	}
+	return c
+}
+
+// StreamResult is one stream's outcome.
+type StreamResult struct {
+	Spec     StreamSpec
+	Decision Decision
+
+	// Shed reports the stream was admitted but later stopped by the
+	// degradation policy; ShedAt is when.
+	Shed   bool
+	ShedAt sim.Time
+
+	// Stream accounting (admitted streams only).
+	Sent       uint64
+	Delivered  uint64
+	Lost       uint64
+	Gaps       uint64
+	Duplicates uint64
+
+	// Playout accounting: ActiveTime is how long the stream ran (until
+	// shed or end of run), the denominator for the glitch rate.
+	Glitches       uint64
+	StarvedTime    sim.Time
+	MaxBufferBytes int
+	ActiveTime     sim.Time
+}
+
+// DeliveredFraction reports Delivered/Sent (0 for streams that never ran).
+func (r StreamResult) DeliveredFraction() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	return float64(r.Delivered) / float64(r.Sent)
+}
+
+// GlitchesPerMinute normalizes the glitch count to the stream's active
+// time, so shed and full-length streams compare fairly.
+func (r StreamResult) GlitchesPerMinute() float64 {
+	if r.ActiveTime <= 0 {
+		return 0
+	}
+	return float64(r.Glitches) / (r.ActiveTime.Seconds() / 60)
+}
+
+// StarvedFraction reports the share of the stream's active time the
+// playout buffer spent starved. A stream that cannot win the ring under
+// overload starves rather than glitching repeatedly (the buffer empties
+// once and stays empty), so this is the honest congestion metric.
+func (r StreamResult) StarvedFraction() float64 {
+	if r.ActiveTime <= 0 {
+		return 0
+	}
+	return r.StarvedTime.Seconds() / r.ActiveTime.Seconds()
+}
+
+// Results is everything one session run produced.
+type Results struct {
+	Config  Config
+	Elapsed sim.Time
+
+	Streams []StreamResult
+
+	Admitted int
+	Rejected int
+	ShedN    int
+
+	Ring            ring.Counters
+	RingUtilization float64
+	// ReservedBitsEnd is the bandwidth still reserved when the run ended
+	// (admitted minus shed).
+	ReservedBitsEnd int64
+}
+
+// WorstAdmittedGlitchRate reports the highest glitches/minute among
+// streams that were admitted and never shed (0 when none ran).
+func (r *Results) WorstAdmittedGlitchRate() float64 {
+	worst := 0.0
+	for _, s := range r.Streams {
+		if !s.Decision.Admitted || s.Shed {
+			continue
+		}
+		if g := s.GlitchesPerMinute(); g > worst {
+			worst = g
+		}
+	}
+	return worst
+}
+
+// WorstAdmittedStarvedFraction reports the highest starved fraction among
+// streams that were admitted and never shed (0 when none ran).
+func (r *Results) WorstAdmittedStarvedFraction() float64 {
+	worst := 0.0
+	for _, s := range r.Streams {
+		if !s.Decision.Admitted || s.Shed {
+			continue
+		}
+		if f := s.StarvedFraction(); f > worst {
+			worst = f
+		}
+	}
+	return worst
+}
+
+// Report renders a human-readable summary.
+func (r *Results) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== session %s (%v, seed %d): %d streams, %d admitted, %d rejected, %d shed ===\n",
+		r.Config.Name, r.Elapsed, r.Config.Seed, len(r.Streams), r.Admitted, r.Rejected, r.ShedN)
+	fmt.Fprintf(&b, "ring: util=%.2f%% reserved=%d bits/s purges=%d insertions=%d purgeLost=%d\n",
+		100*r.RingUtilization, r.ReservedBitsEnd, r.Ring.PurgeCount, r.Ring.InsertionSeen, r.Ring.PurgeLost)
+	for _, s := range r.Streams {
+		switch {
+		case !s.Decision.Admitted:
+			fmt.Fprintf(&b, "  %-16s %-11s REJECTED: %s\n", s.Spec.Name, s.Spec.Class, s.Decision.Reason)
+		case s.Shed:
+			fmt.Fprintf(&b, "  %-16s %-11s SHED at %v: sent=%d delivered=%.4f glitches=%d\n",
+				s.Spec.Name, s.Spec.Class, s.ShedAt, s.Sent, s.DeliveredFraction(), s.Glitches)
+		default:
+			fmt.Fprintf(&b, "  %-16s %-11s ok: sent=%d delivered=%.4f lost=%d glitches=%d (%.2f/min) starved=%.1f%% maxbuf=%dB\n",
+				s.Spec.Name, s.Spec.Class, s.Sent, s.DeliveredFraction(), s.Lost,
+				s.Glitches, s.GlitchesPerMinute(), 100*s.StarvedFraction(), s.MaxBufferBytes)
+		}
+	}
+	return b.String()
+}
+
+// stream is one admitted stream's live machinery.
+type stream struct {
+	idx    int
+	spec   StreamSpec
+	dev    *vca.Device
+	txDrv  *vca.TxDriver
+	recv   *ctmsp.Receiver
+	play   *playout.Playout
+	shed   bool
+	shedAt sim.Time
+}
+
+// mixSeed derives an independent seed per stream component so nearby
+// stream indices get unrelated RNG streams (splitmix64-style finalizer,
+// as core.SweepSeed does for sweep points).
+func mixSeed(base int64, salt uint64) int64 {
+	h := uint64(base) + salt*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int64(h)
+}
+
+// Run executes the session: admission in spec order, then every admitted
+// stream transmits concurrently over one shared ring for cfg.Duration.
+// The run is a self-contained deterministic simulation — same Config,
+// same Results — so sessions fan out across lab.Pool workers safely.
+func Run(cfg Config) (*Results, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.withDefaults()
+
+	sched := sim.NewScheduler()
+	rng := sim.NewRNG(cfg.Seed)
+
+	ringCfg := ring.DefaultConfig()
+	ringCfg.Seed = cfg.Seed
+	ringCfg.BitRate = cfg.RingBitRate
+	r := ring.New(sched, ringCfg)
+	for i := 0; i < populationStations; i++ {
+		r.Attach("pop")
+	}
+
+	// Background load: a sliver of MAC chatter plus 1522-byte transfer
+	// frames making up the rest of the declared utilization.
+	var gens []interface{ Stop() }
+	backgroundBits := int64(cfg.BackgroundUtil * float64(cfg.RingBitRate))
+	if cfg.BackgroundUtil > 0 {
+		macUtil := cfg.BackgroundUtil * 0.1
+		if macUtil > 0.01 {
+			macUtil = 0.01
+		}
+		mon := r.Attach("monitor")
+		gens = append(gens, workload.NewMACGen(r, mon, macUtil, rng.Fork("bg-mac")))
+		restUtil := cfg.BackgroundUtil - macUtil
+		if restUtil > 0 {
+			src, dst := r.Attach("bg-src"), r.Attach("bg-dst")
+			frameTime := sim.BitsOnWire(1522, cfg.RingBitRate)
+			mean := sim.Scale(frameTime, 1/restUtil)
+			gens = append(gens, workload.NewChatterGen(r, src, dst, 1522, 1522, mean, rng.Fork("bg-data")))
+		}
+	}
+
+	ctrl := NewController(cfg.RingBitRate, cfg.UtilizationCap, backgroundBits)
+
+	results := &Results{Config: cfg, Elapsed: cfg.Duration}
+	results.Streams = make([]StreamResult, len(cfg.Streams))
+	var live []*stream
+	byID := make(map[int]*stream)
+
+	for i, spec := range cfg.Streams {
+		bits := spec.OfferedBits()
+		var dec Decision
+		if cfg.DisableAdmission {
+			dec = Decision{Admitted: true, ReservedBits: bits}
+		} else {
+			dec = ctrl.Admit(i, spec.Class, bits)
+		}
+		results.Streams[i] = StreamResult{Spec: spec, Decision: dec}
+		if !dec.Admitted {
+			results.Rejected++
+			continue
+		}
+		results.Admitted++
+		r.ReserveBits(bits)
+		st, err := buildStream(cfg, i, spec, sched, r)
+		if err != nil {
+			return nil, err
+		}
+		live = append(live, st)
+		byID[i] = st
+	}
+
+	shedStream := func(st *stream, at sim.Time) {
+		if st.shed {
+			return
+		}
+		st.shed = true
+		st.shedAt = at
+		st.dev.Stop()
+		ctrl.Release(st.idx)
+		r.ReserveBits(-st.spec.OfferedBits())
+	}
+
+	// Graceful degradation: every Ring Purge charges the budget with its
+	// outage amortized over the penalty window; when the reservations no
+	// longer fit the shrunken capacity, the lowest-class streams are shed
+	// — stopped at the source and their reservation released — until the
+	// survivors fit again. Shed streams stay shed (no re-admission
+	// flapping); a new session must re-apply.
+	if !cfg.DisableAdmission {
+		penalty := int64(float64(ctrl.EffectiveBits()+backgroundBits) *
+			(ringCfg.PurgeDuration.Seconds() / cfg.PurgePenaltyWindow.Seconds()))
+		r.OnPurge(func(at sim.Time) {
+			ctrl.AddPenalty(penalty)
+			sched.After(cfg.PurgePenaltyWindow, "session.penalty-expire", func() {
+				ctrl.RemovePenalty(penalty)
+			})
+			for _, id := range ctrl.Overcommitted() {
+				if st := byID[id]; st != nil {
+					shedStream(st, at)
+				}
+			}
+		})
+	}
+
+	if cfg.ForceInsertionAt > 0 {
+		sched.At(cfg.ForceInsertionAt, "session.forced-insertion", func() {
+			r.Insertion(defaultInsertionPurges)
+		})
+	}
+
+	for _, st := range live {
+		st.dev.Start()
+	}
+	sched.RunUntil(cfg.Duration)
+	for _, st := range live {
+		if !st.shed {
+			st.dev.Stop()
+		}
+	}
+	for _, g := range gens {
+		g.Stop()
+	}
+
+	for _, st := range live {
+		res := &results.Streams[st.idx]
+		res.Shed = st.shed
+		res.ShedAt = st.shedAt
+		end := cfg.Duration
+		if st.shed {
+			// Judge a shed stream on the time it was allowed to run; its
+			// post-shed starvation is the policy's doing, not the ring's.
+			end = st.shedAt
+			results.ShedN++
+		}
+		res.ActiveTime = end
+		tx := st.txDrv.Stats()
+		rx := st.recv.Stats()
+		res.Sent = tx.PacketsSent
+		res.Delivered = rx.InOrder + rx.Gaps
+		res.Lost = rx.Lost
+		res.Gaps = rx.Gaps
+		res.Duplicates = rx.Duplicates
+		p := st.play.Finish(end)
+		res.Glitches = p.Glitches
+		res.StarvedTime = p.StarvedTime
+		res.MaxBufferBytes = p.MaxBufferBytes
+	}
+
+	results.Ring = r.Counters()
+	results.RingUtilization = r.Utilization()
+	results.ReservedBitsEnd = r.ReservedBits()
+	return results, nil
+}
+
+// buildStream attaches one admitted stream to the ring: its own
+// transmitter and receiver machines (the paper's RT/PC pair), a CTMSP
+// connection with a precomputed ring header, the VCA source interrupting
+// every Interval, and the receive path feeding a playout buffer.
+func buildStream(cfg Config, i int, spec StreamSpec, sched *sim.Scheduler, r *ring.Ring) (*stream, error) {
+	trCfg := tradapter.DefaultConfig()
+	trCfg.CTMSPRingPriority = spec.Class.RingPriority()
+
+	mkHost := func(role string, salt uint64) (*kernel.Kernel, *tradapter.Driver) {
+		name := fmt.Sprintf("%s-%s", spec.Name, role)
+		m := rtpc.NewMachine(sched, name, rtpc.DefaultCostModel(), mixSeed(cfg.Seed, salt))
+		k := kernel.New(m)
+		st := r.Attach(name)
+		drv := tradapter.New(k, st, trCfg, tradapter.DefaultTiming())
+		k.Register(drv)
+		return k, drv
+	}
+	txK, txTR := mkHost("tx", uint64(i)*2+1)
+	rxK, rxTR := mkHost("rx", uint64(i)*2+2)
+
+	conn, err := ctmsp.Dial(txK, txTR, rxTR.Station().Addr(), uint8(i+1))
+	if err != nil {
+		return nil, fmt.Errorf("session: stream %d (%s): %w", i, spec.Name, err)
+	}
+
+	dev := vca.NewDevice(txK)
+	dev.SetPeriod(spec.Interval)
+	txCfg := vca.DefaultTxConfig()
+	txCfg.DataBytes = spec.PacketBytes - ctmsp.HeaderSize
+	txDrv, err := vca.NewTxDriver(txK, dev, conn, txCfg)
+	if err != nil {
+		return nil, fmt.Errorf("session: stream %d (%s): %w", i, spec.Name, err)
+	}
+	txDrv.MaxOutstanding = maxOutstanding
+
+	recv := &ctmsp.Receiver{}
+	rxDrv := vca.NewRxDriver(rxK, rxTR, recv, vca.DefaultRxConfigB())
+
+	streamRate := float64(spec.PacketBytes-ctmsp.HeaderSize) / spec.Interval.Seconds()
+	play := playout.New(streamRate, cfg.PlayoutPrebuffer)
+	rxDrv.OnDelivered = func(h ctmsp.Header, at sim.Time, ev ctmsp.Event) {
+		if ev == ctmsp.InOrder || ev == ctmsp.Gap {
+			play.Deliver(int(h.Length)-ctmsp.HeaderSize, at)
+		}
+	}
+
+	return &stream{idx: i, spec: spec, dev: dev, txDrv: txDrv, recv: recv, play: play}, nil
+}

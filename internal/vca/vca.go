@@ -27,9 +27,10 @@ const DeviceBufferBytes = 4096
 
 // Device is the adapter hardware: a perfectly regular interrupt source.
 type Device struct {
-	k     *kernel.Kernel
-	rep   *sim.Repeater
-	ticks uint64
+	k      *kernel.Kernel
+	rep    *sim.Repeater
+	period sim.Time
+	ticks  uint64
 	// OnIRQ observes the exact hardware interrupt edge — measurement
 	// point 1, which only the logic analyzer can see directly.
 	OnIRQ func(tick uint64, at sim.Time)
@@ -37,15 +38,24 @@ type Device struct {
 	irq func(tick uint64)
 }
 
-// NewDevice creates the adapter on machine k.
+// NewDevice creates the adapter on machine k with the paper's 12 ms
+// interrupt period.
 func NewDevice(k *kernel.Kernel) *Device {
-	return &Device{k: k}
+	return &Device{k: k, period: Interval}
 }
 
-// Start programs the DSP to begin interrupting every Interval.
+// SetPeriod reprograms the DSP's interrupt period (the session layer runs
+// streams of different rates). Must be called before Start.
+func (d *Device) SetPeriod(t sim.Time) {
+	sim.Checkf(d.rep == nil, "cannot reprogram a running VCA")
+	sim.Checkf(t > 0, "VCA period must be positive")
+	d.period = t
+}
+
+// Start programs the DSP to begin interrupting every period.
 func (d *Device) Start() {
 	sim.Checkf(d.rep == nil, "VCA already started")
-	d.rep = d.k.Sched().Every(Interval, "vca.irq", func() {
+	d.rep = d.k.Sched().Every(d.period, "vca.irq", func() {
 		tick := d.ticks
 		d.ticks++
 		if d.OnIRQ != nil {

@@ -1,0 +1,188 @@
+package ctms
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// Options marshals to a JSON scenario file — the format ctmsbench's
+// -scenario flag loads — and unmarshals from one. Durations render as Go
+// duration strings ("12ms") and parse from either that form or a bare
+// nanosecond count; unknown fields are rejected so a typoed toggle fails
+// loudly instead of silently running the default.
+
+// jsonDuration is time.Duration with a human-readable JSON form.
+type jsonDuration time.Duration
+
+func (d jsonDuration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+func (d *jsonDuration) UnmarshalJSON(b []byte) error {
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	switch x := v.(type) {
+	case string:
+		parsed, err := time.ParseDuration(x)
+		if err != nil {
+			return fmt.Errorf("ctms: bad duration %q: %w", x, err)
+		}
+		*d = jsonDuration(parsed)
+	case float64:
+		*d = jsonDuration(time.Duration(x))
+	default:
+		return fmt.Errorf("ctms: duration must be a string like \"12ms\" or a nanosecond count, not %T", v)
+	}
+	return nil
+}
+
+// optionsJSON mirrors Options field for field; only the duration fields
+// change type. Keeping it adjacent to Options (and covered by the
+// round-trip golden test) is what keeps the two in sync.
+type optionsJSON struct {
+	Name     string       `json:"name"`
+	Seed     int64        `json:"seed"`
+	Duration jsonDuration `json:"duration"`
+
+	PacketBytes int          `json:"packet_bytes"`
+	Interval    jsonDuration `json:"interval"`
+
+	Protocol Protocol `json:"protocol"`
+	Tool     Tool     `json:"tool"`
+
+	TxIOChannelMemory bool `json:"tx_io_channel_memory"`
+	TxCopyHeaderOnly  bool `json:"tx_copy_header_only"`
+	TxCopyVCAToMbufs  bool `json:"tx_copy_vca_to_mbufs"`
+	PointerTransfer   bool `json:"pointer_transfer"`
+
+	RxCopyToMbufs bool `json:"rx_copy_to_mbufs"`
+	RxCopyToVCA   bool `json:"rx_copy_to_vca"`
+
+	DriverPriority   bool `json:"driver_priority"`
+	RingPriority     bool `json:"ring_priority"`
+	PrecomputeHeader bool `json:"precompute_header"`
+	PurgeInterrupt   bool `json:"purge_interrupt"`
+	DriverRaceBug    bool `json:"driver_race_bug"`
+
+	PublicNetwork   bool `json:"public_network"`
+	NetworkLoad     Load `json:"network_load"`
+	Multiprocessing bool `json:"multiprocessing"`
+	Insertions      bool `json:"insertions"`
+
+	ForceInsertionAt jsonDuration `json:"force_insertion_at"`
+	RingBitRate      int64        `json:"ring_bit_rate"`
+	PlayoutPrebuffer jsonDuration `json:"playout_prebuffer"`
+
+	HistogramBinWidthMicros float64 `json:"histogram_bin_width_micros"`
+}
+
+func (o Options) toJSON() optionsJSON {
+	return optionsJSON{
+		Name:                    o.Name,
+		Seed:                    o.Seed,
+		Duration:                jsonDuration(o.Duration),
+		PacketBytes:             o.PacketBytes,
+		Interval:                jsonDuration(o.Interval),
+		Protocol:                o.Protocol,
+		Tool:                    o.Tool,
+		TxIOChannelMemory:       o.TxIOChannelMemory,
+		TxCopyHeaderOnly:        o.TxCopyHeaderOnly,
+		TxCopyVCAToMbufs:        o.TxCopyVCAToMbufs,
+		PointerTransfer:         o.PointerTransfer,
+		RxCopyToMbufs:           o.RxCopyToMbufs,
+		RxCopyToVCA:             o.RxCopyToVCA,
+		DriverPriority:          o.DriverPriority,
+		RingPriority:            o.RingPriority,
+		PrecomputeHeader:        o.PrecomputeHeader,
+		PurgeInterrupt:          o.PurgeInterrupt,
+		DriverRaceBug:           o.DriverRaceBug,
+		PublicNetwork:           o.PublicNetwork,
+		NetworkLoad:             o.NetworkLoad,
+		Multiprocessing:         o.Multiprocessing,
+		Insertions:              o.Insertions,
+		ForceInsertionAt:        jsonDuration(o.ForceInsertionAt),
+		RingBitRate:             o.RingBitRate,
+		PlayoutPrebuffer:        jsonDuration(o.PlayoutPrebuffer),
+		HistogramBinWidthMicros: o.HistogramBinWidthMicros,
+	}
+}
+
+func (j optionsJSON) toOptions() Options {
+	return Options{
+		Name:                    j.Name,
+		Seed:                    j.Seed,
+		Duration:                time.Duration(j.Duration),
+		PacketBytes:             j.PacketBytes,
+		Interval:                time.Duration(j.Interval),
+		Protocol:                j.Protocol,
+		Tool:                    j.Tool,
+		TxIOChannelMemory:       j.TxIOChannelMemory,
+		TxCopyHeaderOnly:        j.TxCopyHeaderOnly,
+		TxCopyVCAToMbufs:        j.TxCopyVCAToMbufs,
+		PointerTransfer:         j.PointerTransfer,
+		RxCopyToMbufs:           j.RxCopyToMbufs,
+		RxCopyToVCA:             j.RxCopyToVCA,
+		DriverPriority:          j.DriverPriority,
+		RingPriority:            j.RingPriority,
+		PrecomputeHeader:        j.PrecomputeHeader,
+		PurgeInterrupt:          j.PurgeInterrupt,
+		DriverRaceBug:           j.DriverRaceBug,
+		PublicNetwork:           j.PublicNetwork,
+		NetworkLoad:             j.NetworkLoad,
+		Multiprocessing:         j.Multiprocessing,
+		Insertions:              j.Insertions,
+		ForceInsertionAt:        time.Duration(j.ForceInsertionAt),
+		RingBitRate:             j.RingBitRate,
+		PlayoutPrebuffer:        time.Duration(j.PlayoutPrebuffer),
+		HistogramBinWidthMicros: j.HistogramBinWidthMicros,
+	}
+}
+
+// MarshalJSON renders the options as a scenario document.
+func (o Options) MarshalJSON() ([]byte, error) {
+	return json.Marshal(o.toJSON())
+}
+
+// UnmarshalJSON parses a scenario document. Unknown fields are an error.
+func (o *Options) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var j optionsJSON
+	if err := dec.Decode(&j); err != nil {
+		return fmt.Errorf("ctms: bad scenario: %w", err)
+	}
+	*o = j.toOptions()
+	return nil
+}
+
+// LoadScenarios parses a scenario file's contents: either one Options
+// object or an array of them. Every scenario is validated before any is
+// returned, so a multi-scenario file fails as a whole or runs as a whole.
+func LoadScenarios(data []byte) ([]Options, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var scenarios []Options
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(data, &scenarios); err != nil {
+			return nil, err
+		}
+	} else {
+		var one Options
+		if err := json.Unmarshal(data, &one); err != nil {
+			return nil, err
+		}
+		scenarios = []Options{one}
+	}
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("ctms: scenario file holds no scenarios")
+	}
+	for i, s := range scenarios {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %d (%s): %w", i, s.Name, err)
+		}
+	}
+	return scenarios, nil
+}

@@ -1,0 +1,66 @@
+package ctms
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestOptionsCoreRoundTrip drives every Options field — located by
+// reflection, so a newly added field is covered automatically — through
+// toCore and back. A field someone adds to Options without wiring it into
+// the core.Config conversion comes back zeroed and fails here loudly,
+// instead of silently running every experiment at the default.
+func TestOptionsCoreRoundTrip(t *testing.T) {
+	var o Options
+	v := reflect.ValueOf(&o).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		f := v.Field(i)
+		name := v.Type().Field(i).Name
+		// The enums only round-trip valid spellings; pick non-default ones.
+		switch name {
+		case "Protocol":
+			f.Set(reflect.ValueOf(StockUnix))
+			continue
+		case "Tool":
+			f.Set(reflect.ValueOf(PCAT))
+			continue
+		case "NetworkLoad":
+			f.Set(reflect.ValueOf(LoadHeavy))
+			continue
+		}
+		// Distinctive per-field values, so two crossed wires (field A
+		// written into field B) cannot cancel out.
+		switch f.Kind() {
+		case reflect.String:
+			f.SetString("probe-" + name)
+		case reflect.Bool:
+			f.SetBool(true)
+		case reflect.Int, reflect.Int64:
+			if f.Type() == reflect.TypeOf(time.Duration(0)) {
+				f.SetInt(int64(time.Duration(i+1) * time.Millisecond))
+			} else {
+				f.SetInt(int64(1000 + i))
+			}
+		case reflect.Float64:
+			f.SetFloat(float64(i) + 0.5)
+		default:
+			t.Fatalf("Options.%s has kind %v: teach this test to fill it", name, f.Kind())
+		}
+	}
+
+	cfg, err := o.toCore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := fromCore(cfg)
+	if !reflect.DeepEqual(o, back) {
+		for i := 0; i < v.NumField(); i++ {
+			name := v.Type().Field(i).Name
+			a, b := v.Field(i).Interface(), reflect.ValueOf(back).Field(i).Interface()
+			if !reflect.DeepEqual(a, b) {
+				t.Errorf("Options.%s does not survive toCore/fromCore: sent %v, got back %v (unwired?)", name, a, b)
+			}
+		}
+	}
+}

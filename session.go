@@ -1,0 +1,276 @@
+package ctms
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ring"
+	"repro/internal/session"
+	"repro/internal/sim"
+)
+
+// StreamClass is a stream's priority class. Admission bookkeeping,
+// degradation order and Token Ring access priority all follow it: when
+// Ring Purges shrink the usable capacity, ClassBackground streams are
+// shed before ClassStandard, and ClassInteractive last.
+type StreamClass string
+
+const (
+	// ClassBackground is prefetch/replication traffic: first to shed.
+	ClassBackground StreamClass = "background"
+	// ClassStandard is ordinary playback, and what the empty string means.
+	ClassStandard StreamClass = "standard"
+	// ClassInteractive is conversational media (the paper's telephony
+	// case): last to shed.
+	ClassInteractive StreamClass = "interactive"
+)
+
+var classTable = enumTable[StreamClass, session.Class]{
+	kind: "stream class", def: ClassStandard,
+	vals: []enumPair[StreamClass, session.Class]{
+		{ClassBackground, session.ClassBackground},
+		{ClassStandard, session.ClassStandard},
+		{ClassInteractive, session.ClassInteractive},
+	},
+}
+
+// StreamSpec describes one CTMSP stream offered to a Session: PacketBytes
+// (CTMSP header included) sent every Interval, at the given Class.
+type StreamSpec struct {
+	Name        string
+	PacketBytes int
+	Interval    time.Duration
+	Class       StreamClass
+}
+
+// SessionOptions configures a multi-stream Session. The zero value plus a
+// Duration is runnable: the paper's 4 Mbit/s ring, a 90% admission cap,
+// no background load.
+type SessionOptions struct {
+	Name     string
+	Seed     int64
+	Duration time.Duration
+
+	// RingBitRate overrides the 4 Mbit/s ring (0 = the paper's rate).
+	RingBitRate int64
+	// UtilizationCap is the fraction of the wire admission may promise;
+	// zero selects the 0.90 default, which leaves headroom for token
+	// rotation and MAC traffic.
+	UtilizationCap float64
+	// BackgroundUtil is the offered background load as a fraction of the
+	// ring; the admission budget subtracts it.
+	BackgroundUtil float64
+	// DisableAdmission runs every stream regardless of budget and never
+	// sheds — the free-for-all E17 compares against.
+	DisableAdmission bool
+	// ForceInsertionAt injects one station insertion (a burst of
+	// back-to-back Ring Purges) at the given offset; zero disables.
+	ForceInsertionAt time.Duration
+	// PlayoutPrebuffer delays each stream's playback after its first
+	// packet (0 = the §6 default of 40 ms; 130 ms rides out an insertion).
+	PlayoutPrebuffer time.Duration
+}
+
+// Admission is the controller's verdict on one stream, available from
+// Session.Add before the session runs.
+type Admission struct {
+	// Admitted reports whether the stream's bandwidth reservation was
+	// granted.
+	Admitted bool
+	// Reason explains a rejection (empty when admitted).
+	Reason string
+	// ReservedBits is the ring bandwidth reserved in bits/s, Token Ring
+	// framing included; zero when rejected.
+	ReservedBits int64
+}
+
+// SessionStream is one stream's outcome in a SessionResult.
+type SessionStream struct {
+	Spec      StreamSpec
+	Admission Admission
+
+	// Shed reports the stream was admitted but stopped mid-run by the
+	// degradation policy; ShedAt is when.
+	Shed   bool
+	ShedAt time.Duration
+
+	Sent      uint64
+	Delivered uint64
+	Lost      uint64
+
+	// Playout accounting over the stream's active time (until shed or
+	// end of run).
+	Glitches          uint64
+	GlitchesPerMinute float64
+	StarvedFraction   float64
+	MaxBufferBytes    int
+}
+
+// SessionResult is everything one Session run produced.
+type SessionResult struct {
+	Streams  []SessionStream
+	Admitted int
+	Rejected int
+	Shed     int
+
+	RingUtilization float64
+	// ReservedBits is the bandwidth still reserved when the run ended
+	// (admitted minus shed).
+	ReservedBits int64
+	// Report is the human-readable per-stream summary.
+	Report string
+}
+
+// WorstAdmittedGlitchRate reports the highest glitches/minute among
+// streams that were admitted and never shed (0 when none ran).
+func (r *SessionResult) WorstAdmittedGlitchRate() float64 {
+	worst := 0.0
+	for _, s := range r.Streams {
+		if s.Admission.Admitted && !s.Shed && s.GlitchesPerMinute > worst {
+			worst = s.GlitchesPerMinute
+		}
+	}
+	return worst
+}
+
+// Session runs N concurrent CTMSP streams over one simulated Token Ring,
+// with admission control and class-ordered degradation — the multi-stream
+// layer §3's bandwidth-guarantee argument implies. Build one with
+// NewSession, offer streams with Add (each gets its admission verdict
+// immediately), then Run the admitted set:
+//
+//	s, _ := ctms.NewSession(ctms.SessionOptions{Duration: 20 * time.Second})
+//	adm, _ := s.Add(ctms.StreamSpec{Name: "voice", PacketBytes: 500,
+//		Interval: 12 * time.Millisecond, Class: ctms.ClassInteractive})
+//	if !adm.Admitted {
+//		// the ring could not guarantee this stream; adm.Reason says why
+//	}
+//	res, _ := s.Run()
+//
+// The run is a deterministic simulation: same options, same streams, same
+// results, at any test or sweep parallelism.
+type Session struct {
+	opts  SessionOptions
+	cfg   session.Config
+	probe *session.Controller
+	ran   bool
+}
+
+// NewSession validates the options and prepares an empty session.
+func NewSession(opts SessionOptions) (*Session, error) {
+	cfg := session.Config{
+		Name:             opts.Name,
+		Seed:             opts.Seed,
+		Duration:         sim.Time(opts.Duration),
+		RingBitRate:      opts.RingBitRate,
+		UtilizationCap:   opts.UtilizationCap,
+		BackgroundUtil:   opts.BackgroundUtil,
+		DisableAdmission: opts.DisableAdmission,
+		ForceInsertionAt: sim.Time(opts.ForceInsertionAt),
+		PlayoutPrebuffer: sim.Time(opts.PlayoutPrebuffer),
+	}
+	// Validate everything but the streams (none yet): run the config
+	// checks against a placeholder stream, which always validates.
+	probeCfg := cfg
+	probeCfg.Streams = []session.StreamSpec{{PacketBytes: 500, Interval: sim.Millisecond}}
+	if err := probeCfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{opts: opts, cfg: cfg}
+	if !opts.DisableAdmission {
+		s.probe = s.newController()
+	}
+	return s, nil
+}
+
+// newController mirrors the controller session.Run will build, so Add's
+// eager verdicts match the run's replayed decisions exactly.
+func (s *Session) newController() *session.Controller {
+	ringBits := s.cfg.RingBitRate
+	if ringBits == 0 {
+		ringBits = ring.DefaultConfig().BitRate
+	}
+	uc := s.cfg.UtilizationCap
+	if uc == 0 {
+		uc = session.DefaultUtilizationCap
+	}
+	return session.NewController(ringBits, uc, int64(s.cfg.BackgroundUtil*float64(ringBits)))
+}
+
+// Add offers one stream to the session and returns its admission verdict
+// immediately — rejected streams are recorded (they appear in the result
+// with their reason) but consume nothing. The verdict is final: admission
+// is first come, first reserved, so Run replays the same decisions.
+func (s *Session) Add(spec StreamSpec) (Admission, error) {
+	if s.ran {
+		return Admission{}, fmt.Errorf("ctms: session already ran")
+	}
+	class, err := classTable.toCore(spec.Class)
+	if err != nil {
+		return Admission{}, err
+	}
+	internal := session.StreamSpec{
+		Name:        spec.Name,
+		PacketBytes: spec.PacketBytes,
+		Interval:    sim.Time(spec.Interval),
+		Class:       class,
+	}
+	probeCfg := s.cfg
+	probeCfg.Streams = []session.StreamSpec{internal}
+	if err := probeCfg.Validate(); err != nil {
+		return Admission{}, err
+	}
+	id := len(s.cfg.Streams)
+	s.cfg.Streams = append(s.cfg.Streams, internal)
+	if s.probe == nil { // free-for-all: everything "admitted"
+		return Admission{Admitted: true, ReservedBits: internal.OfferedBits()}, nil
+	}
+	d := s.probe.Admit(id, class, internal.OfferedBits())
+	return Admission{Admitted: d.Admitted, Reason: d.Reason, ReservedBits: d.ReservedBits}, nil
+}
+
+// Run simulates the session and returns the per-stream outcomes. It can
+// run once; build a new Session to run a variation.
+func (s *Session) Run() (*SessionResult, error) {
+	if s.ran {
+		return nil, fmt.Errorf("ctms: session already ran")
+	}
+	s.ran = true
+	res, err := session.Run(s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &SessionResult{
+		Admitted:        res.Admitted,
+		Rejected:        res.Rejected,
+		Shed:            res.ShedN,
+		RingUtilization: res.RingUtilization,
+		ReservedBits:    res.ReservedBitsEnd,
+		Report:          res.Report(),
+	}
+	for _, st := range res.Streams {
+		out.Streams = append(out.Streams, SessionStream{
+			Spec: StreamSpec{
+				Name:        st.Spec.Name,
+				PacketBytes: st.Spec.PacketBytes,
+				Interval:    st.Spec.Interval.Std(),
+				Class:       classTable.fromCore(st.Spec.Class),
+			},
+			Admission: Admission{
+				Admitted:     st.Decision.Admitted,
+				Reason:       st.Decision.Reason,
+				ReservedBits: st.Decision.ReservedBits,
+			},
+			Shed:              st.Shed,
+			ShedAt:            st.ShedAt.Std(),
+			Sent:              st.Sent,
+			Delivered:         st.Delivered,
+			Lost:              st.Lost,
+			Glitches:          st.Glitches,
+			GlitchesPerMinute: st.GlitchesPerMinute(),
+			StarvedFraction:   st.StarvedFraction(),
+			MaxBufferBytes:    st.MaxBufferBytes,
+		})
+	}
+	return out, nil
+}
