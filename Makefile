@@ -5,12 +5,18 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench api-check api-golden clean
+.PHONY: ci vet lint build test race bench api-check api-golden clean
 
-ci: vet build race bench api-check
+ci: vet lint build race bench api-check
 
 vet:
 	$(GO) vet ./...
+
+# ctmsvet is the repo's own analyzer suite (internal/analyzers): the
+# determinism, units and exhaustive rules DESIGN.md §7 specifies. It
+# exits nonzero with file:line:col diagnostics on any finding.
+lint:
+	$(GO) run ./cmd/ctmsvet
 
 build:
 	$(GO) build ./...

@@ -37,8 +37,31 @@ import (
 
 	ctms "repro"
 	"repro/internal/core"
+	"repro/internal/lab"
 	"repro/internal/sim"
 )
+
+// timedResult pairs one experiment's outcome with its host wall time.
+// The timing lives here rather than in core.RunMatrix so internal/core
+// stays clock-free (the determinism analyzer enforces that); dispatch
+// still fans out across the same lab pool with collection by index.
+type timedResult struct {
+	core.MatrixResult
+	wall time.Duration
+}
+
+// runMatrixTimed is core.RunMatrix plus per-experiment wall bookkeeping.
+func runMatrixTimed(exps []core.Experiment, s core.Scale, parallelism int) []timedResult {
+	pool := lab.New(parallelism)
+	return lab.Map(pool, len(exps), func(i int) timedResult {
+		start := time.Now()
+		cmp := exps[i].Run(s)
+		return timedResult{
+			MatrixResult: core.MatrixResult{Experiment: exps[i], Comparison: cmp},
+			wall:         time.Since(start),
+		}
+	})
+}
 
 // benchRecord is the BENCH.json schema (documented in EXPERIMENTS.md).
 type benchRecord struct {
@@ -107,7 +130,7 @@ func main() {
 	simBefore := core.SimulatedTotal()
 	start := time.Now()
 
-	results := core.RunMatrix(exps, scale, *parallel)
+	results := runMatrixTimed(exps, scale, *parallel)
 
 	wall := time.Since(start)
 	simRun := core.SimulatedTotal() - simBefore
@@ -135,7 +158,7 @@ func main() {
 			ID:          mr.Experiment.ID,
 			Source:      mr.Experiment.Source,
 			Title:       mr.Experiment.Title,
-			WallSeconds: mr.Wall.Seconds(),
+			WallSeconds: mr.wall.Seconds(),
 			Metrics:     len(mr.Comparison.Metrics),
 			OK:          ok,
 		})
@@ -143,7 +166,7 @@ func main() {
 			printMarkdown(mr.Experiment, mr.Comparison)
 		} else {
 			fmt.Printf("=== %s (%s) %s  [wall %v]\n",
-				mr.Experiment.ID, mr.Experiment.Source, mr.Experiment.Title, mr.Wall.Round(time.Millisecond))
+				mr.Experiment.ID, mr.Experiment.Source, mr.Experiment.Title, mr.wall.Round(time.Millisecond))
 			fmt.Print(mr.Comparison.Render())
 			for name, fig := range mr.Comparison.Figures {
 				fmt.Printf("\n%s\n%s\n", name, fig)

@@ -1,0 +1,70 @@
+// Command ctmsvet runs the repository's custom static-analysis suite:
+// the determinism, units and exhaustive analyzers of internal/analyzers
+// (see DESIGN.md §7). It is the `make lint` step of `make ci`.
+//
+// Usage:
+//
+//	ctmsvet             # analyze the enclosing module
+//	ctmsvet -root DIR   # analyze the module rooted at DIR
+//	ctmsvet -json       # machine-readable diagnostics
+//
+// Exit status: 0 with no findings, 1 when any diagnostic survives
+// suppression, 2 on a usage or load error. Each finding prints as
+// file:line:col: analyzer: message, so CI output is directly actionable.
+// A finding can be suppressed in place with
+//
+//	//ctmsvet:allow <analyzer> <reason>
+//
+// where the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	var (
+		root     = flag.String("root", "", "module root to analyze (default: walk up from the working directory)")
+		jsonMode = flag.Bool("json", false, "emit diagnostics as a JSON array")
+	)
+	flag.Parse()
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = analyzers.FindModuleRoot(".")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsvet: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	diags, err := analyzers.RunRepo(dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctmsvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	if *jsonMode {
+		out, err := analyzers.MarshalJSONDiagnostics(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsvet: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println(string(out))
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonMode {
+			fmt.Fprintf(os.Stderr, "ctmsvet: %d finding(s)\n", len(diags))
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+)
+
+// SimCriticalPackages are the packages whose code feeds the
+// deterministic simulation: everything between a Config and its Results.
+// These are the packages whose determinism PR 1's serial-vs-parallel
+// matrix test asserts at runtime, so they are the ones the determinism
+// analyzer guards at lint time.
+var SimCriticalPackages = []string{
+	"internal/sim",
+	"internal/ring",
+	"internal/session",
+	"internal/core",
+	"internal/playout",
+	"internal/ctmsp",
+	"internal/lab",
+}
+
+// All lists every analyzer in the suite, for directive validation and
+// tooling.
+var All = []*Analyzer{Determinism, Units, Exhaustive}
+
+// RunRepo runs the suite with its repo scoping rules, rooted at the
+// module root: determinism over the sim-critical packages only (commands
+// and the measurement harness legitimately read the host clock); units
+// and exhaustive over those plus the root package, where the public
+// Options/Session API and the enumTable registry live.
+func RunRepo(root string) ([]Diagnostic, error) {
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		return nil, fmt.Errorf("ctmsvet: %s is not a module root (no go.mod)", root)
+	}
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	var targets []Target
+
+	rootPkg, err := LoadPackage(fset, root)
+	if err != nil {
+		return nil, err
+	}
+	if rootPkg != nil {
+		pkgs = append(pkgs, rootPkg)
+		targets = append(targets, NewTarget(rootPkg, Units, Exhaustive))
+	}
+	for _, dir := range SimCriticalPackages {
+		pkg, err := LoadPackage(fset, filepath.Join(root, dir))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			continue
+		}
+		pkgs = append(pkgs, pkg)
+		targets = append(targets, NewTarget(pkg, Determinism, Units, Exhaustive))
+	}
+	if len(pkgs) == 0 {
+		return nil, fmt.Errorf("ctmsvet: no Go packages found under %s", root)
+	}
+	return Run(targets, BuildIndex(pkgs)), nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("ctmsvet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

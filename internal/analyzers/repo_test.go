@@ -1,0 +1,107 @@
+package analyzers
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRepoComesClean is the lint gate's own regression test: the real
+// repository must produce zero findings, so `make lint` stays green and
+// any future finding is a genuine regression (or needs an annotated
+// //ctmsvet:allow).
+func TestRepoComesClean(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	diags, err := RunRepo(root)
+	if err != nil {
+		t.Fatalf("RunRepo: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo finding: %s", d)
+	}
+}
+
+// TestInjectedViolations is the acceptance check in reverse: drop a
+// wall-clock read into a sim-critical package and an unannotated
+// bytes->bits assignment into the root package of a scratch module, and
+// ctmsvet must fail with diagnostics at the right file and line.
+func TestInjectedViolations(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("internal/sim/bad.go", `package sim
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	write("rates.go", `package scratch
+
+func frame(packetBytes int64) int64 {
+	frameBits := packetBytes
+	return frameBits
+}
+`)
+
+	diags, err := RunRepo(root)
+	if err != nil {
+		t.Fatalf("RunRepo: %v", err)
+	}
+	var gotClock, gotUnits bool
+	for _, d := range diags {
+		switch {
+		case d.Analyzer == "determinism" &&
+			strings.HasSuffix(d.File, filepath.Join("internal", "sim", "bad.go")) &&
+			d.Line == 5 && strings.Contains(d.Message, "time.Now"):
+			gotClock = true
+		case d.Analyzer == "units" &&
+			strings.HasSuffix(d.File, "rates.go") &&
+			d.Line == 4 && strings.Contains(d.Message, "bytes-named"):
+			gotUnits = true
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	if !gotClock {
+		t.Errorf("injected time.Now in internal/sim not reported; got %d diagnostics", len(diags))
+	}
+	if !gotUnits {
+		t.Errorf("injected bytes->bits assignment not reported; got %d diagnostics", len(diags))
+	}
+}
+
+// TestMarshalJSONDiagnostics pins the -json contract: always an array,
+// never null.
+func TestMarshalJSONDiagnostics(t *testing.T) {
+	out, err := MarshalJSONDiagnostics(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(out)) != "[]" {
+		t.Errorf("empty diagnostics marshal to %q, want []", out)
+	}
+	out, err = MarshalJSONDiagnostics([]Diagnostic{{
+		Analyzer: "units", File: "x.go", Line: 3, Col: 7, Message: "m",
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"analyzer": "units"`, `"file": "x.go"`, `"line": 3`, `"col": 7`, `"message": "m"`} {
+		if !strings.Contains(string(out), key) {
+			t.Errorf("marshalled diagnostics missing %s:\n%s", key, out)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package exhaustive is a ctmsvet fixture: every rule of the exhaustive
+// analyzer, positive and negative. It mirrors the root package's
+// enummap.go registry shape; only types registered in an enumTable
+// literal are policed.
+package exhaustive
+
+type enumTable[P ~string, C comparable] struct {
+	def  P
+	vals []enumPair[P, C]
+}
+
+type enumPair[P ~string, C comparable] struct {
+	pub  P
+	core C
+}
+
+type Protocol string
+
+const (
+	CTMSP     Protocol = "ctmsp"
+	StockUnix Protocol = "stock-unix"
+)
+
+type Load string
+
+const (
+	LoadNone   Load = "none"
+	LoadNormal Load = "normal"
+	LoadHeavy  Load = "heavy"
+)
+
+// Tool is deliberately not registered in any enumTable; switches over it
+// are exempt.
+type Tool string
+
+const (
+	LogicAnalyzer Tool = "logic-analyzer"
+	PCAT          Tool = "pcat"
+)
+
+var protocolTable = enumTable[Protocol, int]{
+	def:  CTMSP,
+	vals: []enumPair[Protocol, int]{{CTMSP, 0}, {StockUnix, 1}},
+}
+
+var loadTable = enumTable[Load, int]{
+	def:  LoadNone,
+	vals: []enumPair[Load, int]{{LoadNone, 0}, {LoadNormal, 1}, {LoadHeavy, 2}},
+}
+
+func missing(l Load) int {
+	switch l { // want `switch over Load misses LoadHeavy`
+	case LoadNone:
+		return 0
+	case LoadNormal:
+		return 1
+	}
+	return 2
+}
+
+func covered(l Load) int {
+	switch l { // every value covered: fine
+	case LoadNone, LoadNormal:
+		return 0
+	case LoadHeavy:
+		return 1
+	}
+	return 2
+}
+
+func defaulted(p Protocol) int {
+	switch p { // default present: fine
+	case CTMSP:
+		return 0
+	default:
+		return 1
+	}
+}
+
+func viaConversion(s string) int {
+	switch Protocol(s) { // want `switch over Protocol misses StockUnix`
+	case CTMSP:
+		return 0
+	}
+	return 1
+}
+
+func viaVarDecl(s string) int {
+	var p Protocol
+	p = Protocol(s)
+	switch p { // want `switch over Protocol misses CTMSP`
+	case StockUnix:
+		return 1
+	}
+	return 0
+}
+
+type spec struct{ load Load }
+
+// The tag's type is invisible syntactically, but the case names Load
+// constants, so the switch is classified over Load anyway.
+func heuristic(s spec) int {
+	switch s.load { // want `switch over Load misses LoadNormal, LoadHeavy`
+	case LoadNone:
+		return 0
+	}
+	return 1
+}
+
+func unregistered(t Tool) int {
+	switch t { // Tool is in no enumTable: exempt
+	case LogicAnalyzer:
+		return 0
+	}
+	return 1
+}
+
+func notAnEnumTag(n int) int {
+	switch n { // plain int switches are exempt
+	case 0:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,450 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+	"unicode"
+)
+
+// Units enforces the repo's bit/byte naming discipline. The paper's §1
+// media rate is 150 KBytes/s and its §3 ring is 4 Mbit/s; one forgotten
+// ×8 is a silent 8× capacity error, so every quantity that crosses that
+// boundary carries its unit in its name (...Bits, ...Bytes, ...BitRate,
+// ...BytesPerSec) and every conversion shows a literal 8.
+//
+// Three rules:
+//
+//   - mismatch: an assignment, call argument, return value or composite
+//     literal field that moves a *Bits*-named expression into a
+//     *Bytes*-named slot (or vice versa) with no literal 8 in the
+//     expression;
+//   - mixed: one expression that mentions both bits- and bytes-named
+//     values with no literal 8;
+//   - ambiguous: a numeric variable, parameter or struct field named
+//     rate/budget/bw/bandwidth (or ...Rate) that carries no unit word at
+//     all, when it traffics in unit-bearing values.
+var Units = &Analyzer{
+	Name: "units",
+	Doc:  "enforce ...Bits/...Bytes naming and flag bit/byte mixing without a *8 or /8 conversion",
+	Run:  runUnits,
+}
+
+type unit int
+
+const (
+	unitNone unit = iota
+	unitBits
+	unitBytes
+	unitMixed
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitBits:
+		return "bits"
+	case unitBytes:
+		return "bytes"
+	case unitMixed:
+		return "mixed"
+	}
+	return "unitless"
+}
+
+// splitWords breaks an identifier into lowercase words at camelCase
+// boundaries, digits and underscores: "RingBitRate" -> [ring bit rate],
+// "rateBytesPerSec" -> [rate bytes per sec].
+func splitWords(name string) []string {
+	var words []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			words = append(words, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	runes := []rune(name)
+	for i, r := range runes {
+		switch {
+		case r == '_' || unicode.IsDigit(r):
+			flush()
+		case unicode.IsUpper(r):
+			// New word unless we are inside an acronym run (previous is
+			// upper and next is not lower).
+			if i > 0 && (!unicode.IsUpper(runes[i-1]) || (i+1 < len(runes) && unicode.IsLower(runes[i+1]))) {
+				flush()
+			}
+			cur.WriteRune(r)
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	flush()
+	return words
+}
+
+// nameUnit classifies an identifier by its words. A name mentioning both
+// ("bytesToBits") is a conversion point and deliberately unitless here.
+func nameUnit(name string) unit {
+	var bits, bytes bool
+	for _, w := range splitWords(name) {
+		switch w {
+		case "bit", "bits":
+			bits = true
+		case "byte", "bytes":
+			bytes = true
+		}
+	}
+	switch {
+	case bits && bytes:
+		return unitNone
+	case bits:
+		return unitBits
+	case bytes:
+		return unitBytes
+	}
+	return unitNone
+}
+
+// ambiguousRateName reports a name that denotes a rate or budget but
+// carries no unit: exactly the identifiers the audit renames.
+func ambiguousRateName(name string) bool {
+	if nameUnit(name) != unitNone {
+		return false
+	}
+	for _, w := range splitWords(name) {
+		switch w {
+		case "rate", "budget", "bw", "bandwidth":
+			return true
+		}
+	}
+	return false
+}
+
+// exprUnits walks an expression collecting the units of every mentioned
+// name, and whether a literal 8 (the bit/byte conversion factor)
+// appears. Function literals are opaque: a closure's body is its own
+// unit context.
+func exprUnits(e ast.Expr) (u unit, hasConv bool) {
+	if e == nil {
+		return unitNone, false
+	}
+	var bits, bytes bool
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CompositeLit:
+			// A struct literal legitimately carries fields of different
+			// units; each keyed field is checked on its own. Only an
+			// unkeyed literal's elements flow through.
+			for _, elt := range x.Elts {
+				if _, keyed := elt.(*ast.KeyValueExpr); keyed {
+					return false
+				}
+			}
+			return true
+		case *ast.BasicLit:
+			if x.Kind == token.INT && x.Value == "8" {
+				hasConv = true
+			}
+		case *ast.Ident:
+			switch nameUnit(x.Name) {
+			case unitBits:
+				bits = true
+			case unitBytes:
+				bytes = true
+			}
+		}
+		return true
+	})
+	switch {
+	case bits && bytes:
+		u = unitMixed
+	case bits:
+		u = unitBits
+	case bytes:
+		u = unitBytes
+	}
+	return u, hasConv
+}
+
+// slotName extracts the unit-bearing name of an assignment target.
+func slotName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.IndexExpr:
+		return slotName(x.X)
+	case *ast.StarExpr:
+		return slotName(x.X)
+	}
+	return ""
+}
+
+// numericType reports whether t is a plain numeric type name — the only
+// types where a unitless rate name can hide an 8× error.
+func numericType(t ast.Expr) bool {
+	id, ok := t.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	switch id.Name {
+	case "int", "int8", "int16", "int32", "int64",
+		"uint", "uint8", "uint16", "uint32", "uint64",
+		"float32", "float64":
+		return true
+	}
+	return false
+}
+
+func runUnits(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		f := f
+		checkTypeDecls(p, f)
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncParams(p, d)
+				if d.Body != nil {
+					checkFuncBody(p, f, d)
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						checkValueSpec(p, vs)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkTypeDecls flags ambiguous numeric struct fields.
+func checkTypeDecls(p *Pass, f *ast.File) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.TYPE {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			ts, ok := spec.(*ast.TypeSpec)
+			if !ok {
+				continue
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				continue
+			}
+			for _, field := range st.Fields.List {
+				if !numericType(field.Type) {
+					continue
+				}
+				for _, n := range field.Names {
+					if ambiguousRateName(n.Name) {
+						p.Reportf(n.Pos(),
+							"field %s.%s is a unitless rate; name the unit (e.g. %sBits, %sBytesPerSec)",
+							ts.Name.Name, n.Name, n.Name, n.Name)
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkFuncParams flags ambiguous numeric parameters.
+func checkFuncParams(p *Pass, fd *ast.FuncDecl) {
+	if fd.Type.Params == nil {
+		return
+	}
+	for _, field := range fd.Type.Params.List {
+		if !numericType(field.Type) {
+			continue
+		}
+		for _, n := range field.Names {
+			if ambiguousRateName(n.Name) {
+				p.Reportf(n.Pos(),
+					"parameter %s of %s is a unitless rate; name the unit (e.g. %sBitsPerSec, %sBytesPerSec)",
+					n.Name, fd.Name.Name, n.Name, n.Name)
+			}
+		}
+	}
+}
+
+// resultUnit determines the unit a return statement must satisfy: a
+// named result's unit if there is exactly one result, else the function
+// name's own unit (OfferedBits must return bits).
+func resultUnit(fd *ast.FuncDecl) unit {
+	res := fd.Type.Results
+	if res == nil || len(res.List) != 1 || len(res.List[0].Names) > 1 {
+		return unitNone
+	}
+	if len(res.List[0].Names) == 1 {
+		if u := nameUnit(res.List[0].Names[0].Name); u != unitNone {
+			return u
+		}
+	}
+	return nameUnit(fd.Name.Name)
+}
+
+func checkFuncBody(p *Pass, f *ast.File, fd *ast.FuncDecl) {
+	retUnit := resultUnit(fd)
+	// Returns inside closures answer to the closure, not the enclosing
+	// function's result unit; record their extents so the walk below can
+	// tell the two apart.
+	var litRanges [][2]token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			litRanges = append(litRanges, [2]token.Pos{fl.Pos(), fl.End()})
+		}
+		return true
+	})
+	inLit := func(pos token.Pos) bool {
+		for _, r := range litRanges {
+			if pos >= r[0] && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(p, node)
+		case *ast.DeclStmt:
+			if gd, ok := node.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						checkValueSpec(p, vs)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			if retUnit != unitNone && len(node.Results) == 1 && !inLit(node.Pos()) {
+				checkSlot(p, node.Results[0].Pos(), fd.Name.Name, retUnit, node.Results[0], "return value of")
+			}
+		case *ast.CallExpr:
+			checkCallArgs(p, f, node)
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				kv, ok := elt.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if u := nameUnit(key.Name); u != unitNone {
+					checkSlot(p, kv.Value.Pos(), key.Name, u, kv.Value, "field")
+				}
+			}
+		}
+		return true
+	})
+}
+
+func checkAssign(p *Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		name := slotName(lhs)
+		if name == "" || name == "_" {
+			continue
+		}
+		if as.Tok == token.DEFINE {
+			if u, conv := exprUnits(as.Rhs[i]); ambiguousRateName(name) && u != unitNone && !conv {
+				p.Reportf(lhs.Pos(),
+					"%s is a unitless rate fed from %s-named values; name the unit (e.g. %sBitsPerSec, %sBytesPerSec)",
+					name, u, name, name)
+				continue
+			}
+		}
+		if u := nameUnit(name); u != unitNone {
+			checkSlot(p, as.Rhs[i].Pos(), name, u, as.Rhs[i], "assignment to")
+		} else {
+			checkMixedOnly(p, as.Rhs[i])
+		}
+	}
+}
+
+func checkValueSpec(p *Pass, vs *ast.ValueSpec) {
+	for i, n := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		if u, conv := exprUnits(vs.Values[i]); ambiguousRateName(n.Name) && u != unitNone && !conv {
+			p.Reportf(n.Pos(),
+				"%s is a unitless rate fed from %s-named values; name the unit (e.g. %sBitsPerSec, %sBytesPerSec)",
+				n.Name, u, n.Name, n.Name)
+			continue
+		}
+		if u := nameUnit(n.Name); u != unitNone {
+			checkSlot(p, vs.Values[i].Pos(), n.Name, u, vs.Values[i], "assignment to")
+		} else {
+			checkMixedOnly(p, vs.Values[i])
+		}
+	}
+}
+
+// checkSlot verifies one expression flowing into a unit-named slot.
+func checkSlot(p *Pass, pos token.Pos, name string, want unit, e ast.Expr, context string) {
+	got, conv := exprUnits(e)
+	if conv {
+		return
+	}
+	switch got {
+	case unitMixed:
+		p.Reportf(pos, "expression mixes bits- and bytes-named values with no *8 or /8 conversion")
+	case unitNone, want:
+	default:
+		p.Reportf(pos, "%s %s (%s) built from %s-named values with no *8 or /8 conversion",
+			context, name, want, got)
+	}
+}
+
+// checkMixedOnly reports an expression that mixes units internally even
+// though its destination is unitless.
+func checkMixedOnly(p *Pass, e ast.Expr) {
+	if got, conv := exprUnits(e); got == unitMixed && !conv {
+		p.Reportf(e.Pos(), "expression mixes bits- and bytes-named values with no *8 or /8 conversion")
+	}
+}
+
+// checkCallArgs matches each argument's unit against the declared
+// parameter name of the callee, resolved through the cross-package
+// index.
+func checkCallArgs(p *Pass, f *ast.File, call *ast.CallExpr) {
+	var params []string
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		params = p.Index.funcParams[fun.Name]
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if path := importPathOf(f, id.Name); path != "" {
+				// Qualified call: key by the imported package's base name.
+				base := path
+				if i := strings.LastIndex(base, "/"); i >= 0 {
+					base = base[i+1:]
+				}
+				params = p.Index.funcParams[base+"."+fun.Sel.Name]
+			}
+		}
+	}
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= len(params) {
+			break
+		}
+		if u := nameUnit(params[i]); u != unitNone {
+			checkSlot(p, arg.Pos(), params[i], u, arg, "argument")
+		} else {
+			checkMixedOnly(p, arg)
+		}
+	}
+}

@@ -1,31 +1,26 @@
 package core
 
 import (
-	"time"
-
 	"repro/internal/lab"
 )
 
-// MatrixResult is one experiment's outcome from a matrix run, with the
-// wall-clock bookkeeping ctmsbench needs for its perf trajectory.
+// MatrixResult is one experiment's outcome from a matrix run. Wall-clock
+// bookkeeping deliberately lives with the caller (ctmsbench): core is
+// clock-free — the determinism analyzer enforces it — so the result
+// table depends only on the experiments and the scale, never on host
+// timing.
 type MatrixResult struct {
 	Experiment Experiment
 	Comparison *Comparison
-	// Wall is how long the experiment took on the host clock (not
-	// simulated time).
-	Wall time.Duration
 }
 
 // RunMatrix runs the given experiments across parallelism workers
 // (0 = GOMAXPROCS) and returns the outcomes in the experiments' order.
 // Every experiment is an independent deterministic simulation, so the
-// result table is identical for any parallelism — only the wall times
-// (and their sum) change.
+// result table is identical for any parallelism.
 func RunMatrix(exps []Experiment, s Scale, parallelism int) []MatrixResult {
 	pool := lab.New(parallelism)
 	return lab.Map(pool, len(exps), func(i int) MatrixResult {
-		start := time.Now()
-		cmp := exps[i].Run(s)
-		return MatrixResult{Experiment: exps[i], Comparison: cmp, Wall: time.Since(start)}
+		return MatrixResult{Experiment: exps[i], Comparison: exps[i].Run(s)}
 	})
 }

@@ -400,8 +400,8 @@ func runCTMSP(cfg Config) (*Results, error) {
 	}
 	rxDrv := vca.NewRxDriver(e.rxK, e.rxDrv, recv, rxCfg)
 
-	streamRate := float64(cfg.PacketBytes-ctmsp.HeaderSize) / cfg.Interval.Seconds()
-	playout := NewPlayout(streamRate, cfg.PlayoutPrebuffer)
+	streamBytesPerSec := float64(cfg.PacketBytes-ctmsp.HeaderSize) / cfg.Interval.Seconds()
+	playout := NewPlayout(streamBytesPerSec, cfg.PlayoutPrebuffer)
 
 	// Probe wiring.
 	dev.OnIRQ = func(tick uint64, _ sim.Time) { e.record(measure.P1VCAIRQ, uint32(tick)) }

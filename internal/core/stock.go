@@ -78,8 +78,8 @@ func runStock(cfg Config) (*Results, error) {
 	conn := txStack.RDTOpen(rxStack.Addr())
 	rconn := rxStack.RDTOpen(txStack.Addr())
 
-	streamRate := float64(cfg.PacketBytes) / cfg.Interval.Seconds()
-	playout := NewPlayout(streamRate, cfg.PlayoutPrebuffer)
+	streamBytesPerSec := float64(cfg.PacketBytes) / cfg.Interval.Seconds()
+	playout := NewPlayout(streamBytesPerSec, cfg.PlayoutPrebuffer)
 
 	queueCap := vca.DeviceBufferBytes / cfg.PacketBytes
 	if queueCap < 1 {

@@ -41,20 +41,20 @@ func SweepSeed(base int64, rateBytesPerSec int) int64 {
 
 // sweepConfig builds the configuration for one rate point, or an error if
 // the rate does not fit the ring MTU model.
-func sweepConfig(protocol Protocol, rate int, dur sim.Time, seed int64) (Config, error) {
+func sweepConfig(protocol Protocol, rateBytesPerSec int, dur sim.Time, seed int64) (Config, error) {
 	var cfg Config
 	if protocol == ProtocolStockUnix {
-		cfg = StockUnix(rate)
+		cfg = StockUnix(rateBytesPerSec)
 	} else {
 		cfg = TestCaseB()
-		cfg.PacketBytes = rate * int(cfg.Interval) / int(sim.Second)
-		cfg.Name = fmt.Sprintf("ctmsp-%dKBps", rate/1000)
+		cfg.PacketBytes = rateBytesPerSec * int(cfg.Interval) / int(sim.Second)
+		cfg.Name = fmt.Sprintf("ctmsp-%dKBps", rateBytesPerSec/1000)
 	}
 	if cfg.PacketBytes < 64 {
 		cfg.PacketBytes = 64
 	}
 	if cfg.PacketBytes > 3800 {
-		return cfg, fmt.Errorf("core: rate %d needs packets beyond the ring MTU model", rate)
+		return cfg, fmt.Errorf("core: rate %d needs packets beyond the ring MTU model", rateBytesPerSec)
 	}
 	cfg.Duration = dur
 	cfg.Insertions = false
@@ -62,7 +62,7 @@ func sweepConfig(protocol Protocol, rate int, dur sim.Time, seed int64) (Config,
 	if base == 0 {
 		base = cfg.Seed
 	}
-	cfg.Seed = SweepSeed(base, rate)
+	cfg.Seed = SweepSeed(base, rateBytesPerSec)
 	return cfg, nil
 }
 

@@ -32,8 +32,8 @@ type Stats struct {
 // arriving-packet history plus analytic drain between events gives exact
 // underrun and high-water accounting without per-byte events.
 type Playout struct {
-	ratePerSec float64 // bytes per second
-	prebuffer  sim.Time
+	bytesPerSec float64
+	prebuffer   sim.Time
 
 	started  bool
 	playAt   sim.Time // when consumption begins
@@ -49,7 +49,7 @@ type Playout struct {
 // rate; prebuffer delays playback after the first packet.
 func New(rateBytesPerSec float64, prebuffer sim.Time) *Playout {
 	sim.Checkf(rateBytesPerSec > 0, "playout rate must be positive")
-	return &Playout{ratePerSec: rateBytesPerSec, prebuffer: prebuffer}
+	return &Playout{bytesPerSec: rateBytesPerSec, prebuffer: prebuffer}
 }
 
 // drainTo advances the consumption clock to t.
@@ -65,7 +65,7 @@ func (p *Playout) drainTo(t sim.Time) {
 		p.lastT = t
 		return
 	}
-	need := p.ratePerSec * (t - from).Seconds()
+	need := p.bytesPerSec * (t - from).Seconds()
 	if need <= p.buffer {
 		p.buffer -= need
 		p.stats.BytesPlayed += int64(need)
@@ -77,7 +77,7 @@ func (p *Playout) drainTo(t sim.Time) {
 		p.stats.BytesPlayed += int64(p.buffer)
 		shortfall := need - p.buffer
 		p.buffer = 0
-		starvedFor := sim.Time(shortfall / p.ratePerSec * float64(sim.Second))
+		starvedFor := sim.Time(shortfall / p.bytesPerSec * float64(sim.Second))
 		p.stats.StarvedTime += starvedFor
 		if !p.starved {
 			p.stats.Glitches++

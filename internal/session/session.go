@@ -478,8 +478,8 @@ func buildStream(cfg Config, i int, spec StreamSpec, sched *sim.Scheduler, r *ri
 	recv := &ctmsp.Receiver{}
 	rxDrv := vca.NewRxDriver(rxK, rxTR, recv, vca.DefaultRxConfigB())
 
-	streamRate := float64(spec.PacketBytes-ctmsp.HeaderSize) / spec.Interval.Seconds()
-	play := playout.New(streamRate, cfg.PlayoutPrebuffer)
+	streamBytesPerSec := float64(spec.PacketBytes-ctmsp.HeaderSize) / spec.Interval.Seconds()
+	play := playout.New(streamBytesPerSec, cfg.PlayoutPrebuffer)
 	rxDrv.OnDelivered = func(h ctmsp.Header, at sim.Time, ev ctmsp.Event) {
 		if ev == ctmsp.InOrder || ev == ctmsp.Gap {
 			play.Deliver(int(h.Length)-ctmsp.HeaderSize, at)

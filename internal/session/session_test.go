@@ -179,8 +179,8 @@ func TestSessionValidate(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := []Config{
-		{Streams: specN(1)},                       // no duration
-		{Duration: sim.Second},                    // no streams
+		{Streams: specN(1)},    // no duration
+		{Duration: sim.Second}, // no streams
 		{Duration: sim.Second, Streams: specN(1), UtilizationCap: 1.5},
 		{Duration: sim.Second, Streams: specN(1), BackgroundUtil: 1.0},
 		{Duration: sim.Second, Streams: []StreamSpec{{PacketBytes: 4, Interval: sim.Millisecond}}},
