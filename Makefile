@@ -5,18 +5,25 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race bench api-check api-golden clean
+.PHONY: ci vet lint lint-fast build test race bench api-check api-golden clean
 
 ci: vet lint build race bench api-check
 
 vet:
 	$(GO) vet ./...
 
-# ctmsvet is the repo's own analyzer suite (internal/analyzers): the
-# determinism, units and exhaustive rules DESIGN.md §7 specifies. It
-# exits nonzero with file:line:col diagnostics on any finding.
+# ctmsvet is the repo's own analyzer suite (internal/analyzers), both
+# tiers: the syntactic determinism/units/exhaustive rules and the typed
+# mbuflife/locking/hotpath rules DESIGN.md §7 specifies. It exits
+# nonzero with file:line:col diagnostics on any finding and leaves the
+# machine-readable artifact in ctmsvet.json for CI to archive.
 lint:
-	$(GO) run ./cmd/ctmsvet
+	$(GO) run ./cmd/ctmsvet -out ctmsvet.json
+
+# The syntactic tier alone: no go/types loading, runs in milliseconds.
+# The edit-compile loop's lint; `make lint` (and ci) stays the gate.
+lint-fast:
+	$(GO) run ./cmd/ctmsvet -typed=false
 
 build:
 	$(GO) build ./...
@@ -45,3 +52,4 @@ api-golden:
 
 clean:
 	$(GO) clean ./...
+	rm -f ctmsvet.json

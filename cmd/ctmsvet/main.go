@@ -1,70 +1,137 @@
-// Command ctmsvet runs the repository's custom static-analysis suite:
-// the determinism, units and exhaustive analyzers of internal/analyzers
-// (see DESIGN.md §7). It is the `make lint` step of `make ci`.
+// Command ctmsvet runs the repository's custom static-analysis suite
+// (see DESIGN.md §7): the syntactic tier — determinism, units,
+// exhaustive — and the typed tier — mbuflife, locking, hotpath — of
+// internal/analyzers. It is the `make lint` step of `make ci`.
 //
 // Usage:
 //
-//	ctmsvet             # analyze the enclosing module
-//	ctmsvet -root DIR   # analyze the module rooted at DIR
-//	ctmsvet -json       # machine-readable diagnostics
+//	ctmsvet                     # analyze the enclosing module, both tiers
+//	ctmsvet -root DIR           # analyze the module rooted at DIR
+//	ctmsvet -typed=false        # fast syntactic pass only (make lint-fast)
+//	ctmsvet -analyzers a,b,c    # run only the named analyzers
+//	ctmsvet -json               # machine-readable diagnostics on stdout
+//	ctmsvet -out findings.json  # also write the JSON artifact to a file
+//	ctmsvet -baseline accepted.json  # fail only on findings not in the baseline
 //
 // Exit status: 0 with no findings, 1 when any diagnostic survives
-// suppression, 2 on a usage or load error. Each finding prints as
-// file:line:col: analyzer: message, so CI output is directly actionable.
-// A finding can be suppressed in place with
+// suppression (and the baseline, if one is given), 2 on a usage or load
+// error. Each finding prints as file:line:col: analyzer: message, so CI
+// output is directly actionable. A finding can be suppressed in place
+// with
 //
 //	//ctmsvet:allow <analyzer> <reason>
 //
-// where the reason is mandatory.
+// where the reason is mandatory. The -baseline file is a prior -json or
+// -out artifact: its findings are matched by analyzer, root-relative
+// file and message (line-insensitive), so a tree with accepted debt
+// still gates on anything new.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/analyzers"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the command body, factored for the CLI contract test: parse
+// args, run the selected tiers, subtract the baseline, emit, and return
+// the exit status.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ctmsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		root     = flag.String("root", "", "module root to analyze (default: walk up from the working directory)")
-		jsonMode = flag.Bool("json", false, "emit diagnostics as a JSON array")
+		root         = fs.String("root", "", "module root to analyze (default: walk up from the working directory)")
+		jsonMode     = fs.Bool("json", false, "emit diagnostics as a JSON array")
+		analyzerList = fs.String("analyzers", "", "comma-separated analyzers to run (default: all; see -list)")
+		baselinePath = fs.String("baseline", "", "accepted-findings JSON (a prior -json/-out artifact); only uncovered findings fail")
+		outPath      = fs.String("out", "", "write the findings JSON artifact to this file")
+		typed        = fs.Bool("typed", true, "run the typed tier (mbuflife, locking, hotpath); =false is the fast syntactic pass")
+		list         = fs.Bool("list", false, "print the analyzer names and exit")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		fmt.Fprintln(stdout, strings.Join(analyzers.AnalyzerNames(), "\n"))
+		return 0
+	}
 
 	dir := *root
 	if dir == "" {
 		var err error
 		dir, err = analyzers.FindModuleRoot(".")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ctmsvet: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "ctmsvet: %v\n", err)
+			return 2
 		}
 	}
 
-	diags, err := analyzers.RunRepo(dir)
+	var only []string
+	for _, n := range strings.Split(*analyzerList, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			only = append(only, n)
+		}
+	}
+
+	diags, err := analyzers.RunRepo(dir, only...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ctmsvet: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "ctmsvet: %v\n", err)
+		return 2
+	}
+	if *typed {
+		tdiags, err := analyzers.RunRepoTyped(dir, only...)
+		if err != nil {
+			fmt.Fprintf(stderr, "%v\n", err)
+			return 2
+		}
+		diags = analyzers.MergeDiagnostics(diags, tdiags)
+	}
+	if *baselinePath != "" {
+		b, err := analyzers.LoadBaseline(*baselinePath, dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "ctmsvet: %v\n", err)
+			return 2
+		}
+		diags = b.Filter(diags, dir)
+	}
+
+	if *outPath != "" {
+		artifact, err := analyzers.MarshalJSONDiagnostics(diags)
+		if err != nil {
+			fmt.Fprintf(stderr, "ctmsvet: %v\n", err)
+			return 2
+		}
+		if err := os.WriteFile(*outPath, append(artifact, '\n'), 0o644); err != nil {
+			fmt.Fprintf(stderr, "ctmsvet: %v\n", err)
+			return 2
+		}
 	}
 
 	if *jsonMode {
 		out, err := analyzers.MarshalJSONDiagnostics(diags)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "ctmsvet: %v\n", err)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "ctmsvet: %v\n", err)
+			return 2
 		}
-		fmt.Println(string(out))
+		fmt.Fprintln(stdout, string(out))
 	} else {
 		for _, d := range diags {
-			fmt.Println(d)
+			fmt.Fprintln(stdout, d)
 		}
 	}
 	if len(diags) > 0 {
 		if !*jsonMode {
-			fmt.Fprintf(os.Stderr, "ctmsvet: %d finding(s)\n", len(diags))
+			fmt.Fprintf(stderr, "ctmsvet: %d finding(s)\n", len(diags))
 		}
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

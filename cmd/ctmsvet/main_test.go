@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analyzers"
+)
+
+// scratchModule writes a tiny module whose root package carries exactly
+// one exhaustive violation (a //ctmsvet:enum switch missing a value).
+func scratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module scratch\n\ngo 1.22\n")
+	write("main.go", `package main
+
+// Phase is a lifecycle enum.
+//
+//ctmsvet:enum
+type Phase int
+
+const (
+	Idle Phase = iota
+	Running
+	Done
+)
+
+func describe(p Phase) string {
+	switch p {
+	case Idle:
+		return "idle"
+	case Running:
+		return "running"
+	}
+	return "?"
+}
+
+func main() { _ = describe(Idle) }
+`)
+	return dir
+}
+
+func runCLI(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIRealTreeComesClean(t *testing.T) {
+	root, err := analyzers.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, "-root", root, "-typed=false")
+	if code != 0 {
+		t.Fatalf("exit %d on the real tree\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Fatalf("expected no output on a clean tree, got:\n%s", stdout)
+	}
+}
+
+func TestCLIFindingExitsOne(t *testing.T) {
+	dir := scratchModule(t)
+	code, stdout, stderr := runCLI(t, "-root", dir, "-typed=false")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "switch over Phase misses Done") {
+		t.Fatalf("missing finding in output:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "1 finding(s)") {
+		t.Fatalf("missing summary on stderr:\n%s", stderr)
+	}
+}
+
+func TestCLIAnalyzersFlag(t *testing.T) {
+	dir := scratchModule(t)
+
+	// Selecting an analyzer that cannot fire here passes.
+	code, _, stderr := runCLI(t, "-root", dir, "-typed=false", "-analyzers", "determinism,units")
+	if code != 0 {
+		t.Fatalf("exit %d with exhaustive deselected\nstderr:\n%s", code, stderr)
+	}
+
+	// Selecting the firing analyzer still fails.
+	code, stdout, _ := runCLI(t, "-root", dir, "-typed=false", "-analyzers", "exhaustive")
+	if code != 1 || !strings.Contains(stdout, "exhaustive:") {
+		t.Fatalf("exit %d, stdout:\n%s", code, stdout)
+	}
+
+	// Unknown names are a usage error naming the valid set.
+	code, _, stderr = runCLI(t, "-root", dir, "-typed=false", "-analyzers", "bogus")
+	if code != 2 {
+		t.Fatalf("exit %d for unknown analyzer, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") || !strings.Contains(stderr, "mbuflife") {
+		t.Fatalf("error should list the valid analyzers:\n%s", stderr)
+	}
+}
+
+func TestCLIBaselineMode(t *testing.T) {
+	dir := scratchModule(t)
+
+	// Record the current findings as the accepted baseline.
+	code, stdout, _ := runCLI(t, "-root", dir, "-typed=false", "-json")
+	if code != 1 {
+		t.Fatalf("exit %d recording baseline, want 1", code)
+	}
+	baseline := filepath.Join(t.TempDir(), "accepted.json")
+	if err := os.WriteFile(baseline, []byte(stdout), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Under the baseline the same tree gates clean.
+	code, stdout, stderr := runCLI(t, "-root", dir, "-typed=false", "-baseline", baseline)
+	if code != 0 {
+		t.Fatalf("exit %d under baseline\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	// A new finding is not covered: add a second bad switch with a
+	// different message and the gate fails again.
+	extra := `package main
+
+//ctmsvet:enum
+type Knob int
+
+const (
+	KnobA Knob = iota
+	KnobB
+)
+
+func turn(k Knob) int {
+	switch k {
+	case KnobA:
+		return 0
+	}
+	return 1
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "extra.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, "-root", dir, "-typed=false", "-baseline", baseline)
+	if code != 1 {
+		t.Fatalf("exit %d with a new finding under baseline, want 1", code)
+	}
+	if !strings.Contains(stdout, "Knob misses KnobB") || strings.Contains(stdout, "Phase misses Done") {
+		t.Fatalf("only the new finding should survive the baseline:\n%s", stdout)
+	}
+}
+
+func TestCLIOutArtifact(t *testing.T) {
+	dir := scratchModule(t)
+	artifact := filepath.Join(t.TempDir(), "ctmsvet.json")
+	code, _, _ := runCLI(t, "-root", dir, "-typed=false", "-out", artifact)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	data, err := os.ReadFile(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diags []analyzers.Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		t.Fatalf("artifact is not a diagnostics array: %v\n%s", err, data)
+	}
+	if len(diags) != 1 || diags[0].Analyzer != "exhaustive" {
+		t.Fatalf("unexpected artifact contents: %+v", diags)
+	}
+}
+
+func TestCLIListFlag(t *testing.T) {
+	code, stdout, _ := runCLI(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, name := range analyzers.AnalyzerNames() {
+		if !strings.Contains(stdout, name) {
+			t.Fatalf("-list output missing %q:\n%s", name, stdout)
+		}
+	}
+}

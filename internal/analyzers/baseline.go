@@ -1,0 +1,100 @@
+package analyzers
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Baseline is a set of accepted findings, loaded from a prior -json or
+// -out artifact. Running with -baseline subtracts these from the
+// current findings, so a tree with known debt can still gate on *new*
+// findings: the build fails only when a diagnostic appears that the
+// baseline does not cover.
+//
+// Matching is by analyzer, root-relative file and message — line- and
+// column-insensitive, so edits that merely shift an accepted finding
+// down the file do not resurrect it. Matching counts multiplicity: a
+// baseline with one accepted finding of a given key absorbs one
+// current finding, and a second identical finding (the same message at
+// another line of the same file) still fails.
+type Baseline struct {
+	accepted map[baselineKey]int
+}
+
+type baselineKey struct {
+	Analyzer string
+	File     string // root-relative, slash-separated
+	Message  string
+}
+
+func baselineKeyFor(d Diagnostic, root string) baselineKey {
+	file := d.File
+	if rel, err := filepath.Rel(root, d.File); err == nil {
+		file = rel
+	}
+	return baselineKey{
+		Analyzer: d.Analyzer,
+		File:     filepath.ToSlash(file),
+		Message:  d.Message,
+	}
+}
+
+// LoadBaseline reads an accepted-findings artifact (the JSON array the
+// -json and -out modes emit). File paths inside the artifact are
+// resolved relative to root, so a baseline recorded in one checkout
+// matches findings from another.
+func LoadBaseline(path, root string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	b := &Baseline{accepted: make(map[baselineKey]int)}
+	for _, d := range diags {
+		b.accepted[baselineKeyFor(d, root)]++
+	}
+	return b, nil
+}
+
+// Size reports how many accepted findings the baseline holds.
+func (b *Baseline) Size() int {
+	n := 0
+	for _, c := range b.accepted {
+		n += c
+	}
+	return n
+}
+
+// Filter returns the findings the baseline does not cover, preserving
+// order. Each accepted finding absorbs at most one current finding.
+func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
+	remaining := make(map[baselineKey]int, len(b.accepted))
+	for k, c := range b.accepted {
+		remaining[k] = c
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		k := baselineKeyFor(d, root)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// MergeDiagnostics combines the two tiers' findings into one suite
+// ordering (file, then line, then analyzer).
+func MergeDiagnostics(a, b []Diagnostic) []Diagnostic {
+	out := make([]Diagnostic, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	sortDiagnostics(out)
+	return out
+}

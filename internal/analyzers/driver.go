@@ -257,15 +257,12 @@ func NewTarget(pkg *Package, as ...*Analyzer) Target {
 
 // Run executes every target's analyzers, applies //ctmsvet:allow
 // suppressions, validates the directives themselves, and returns the
-// surviving diagnostics sorted by file, line, column, analyzer.
+// surviving diagnostics sorted by file, line, column, analyzer. The
+// known-analyzer vocabulary for directive validation spans both tiers
+// (see AnalyzerNames), so an allow for a typed analyzer stays valid in
+// a syntactic-only run.
 func Run(targets []Target, idx *Index) []Diagnostic {
 	var diags []Diagnostic
-	known := map[string]bool{}
-	for _, t := range targets {
-		for _, a := range t.analyzers {
-			known[a.Name] = true
-		}
-	}
 	var directives []directive
 	for _, t := range targets {
 		if t.p == nil {
@@ -276,7 +273,14 @@ func Run(targets []Target, idx *Index) []Diagnostic {
 		}
 		directives = append(directives, collectDirectives(t.p)...)
 	}
-	diags = applyDirectives(diags, directives, known)
+	diags = append(validateDirectives(directives, knownAnalyzers()), suppressDiagnostics(diags, directives)...)
+	sortDiagnostics(diags)
+	return diags
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer — the
+// stable order both tiers and the merged CLI report use.
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -290,7 +294,6 @@ func Run(targets []Target, idx *Index) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // directivePrefix introduces a suppression comment:
@@ -305,22 +308,36 @@ type directive struct {
 	reason   string
 }
 
+// parseAllowDirective parses one comment's text. ok reports whether the
+// comment is an allow directive at all; malformed-but-recognized
+// directives return ok with empty analyzer or reason, which
+// validateDirectives turns into findings. This function is the
+// FuzzAllowDirective target: it must be total — any comment text, no
+// matter how mangled, parses without panicking.
+func parseAllowDirective(text string) (analyzer, reason string, ok bool) {
+	rest, ok := strings.CutPrefix(text, directivePrefix)
+	if !ok {
+		return "", "", false
+	}
+	analyzer, reason, _ = strings.Cut(strings.TrimSpace(rest), " ")
+	return analyzer, strings.TrimSpace(reason), true
+}
+
 func collectDirectives(pkg *Package) []directive {
 	var out []directive
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, directivePrefix) {
+				analyzer, reason, ok := parseAllowDirective(c.Text)
+				if !ok {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
-				analyzer, reason, _ := strings.Cut(rest, " ")
 				out = append(out, directive{
 					file:     pos.Filename,
 					line:     pos.Line,
 					analyzer: analyzer,
-					reason:   strings.TrimSpace(reason),
+					reason:   reason,
 				})
 			}
 		}
@@ -328,11 +345,11 @@ func collectDirectives(pkg *Package) []directive {
 	return out
 }
 
-// applyDirectives drops suppressed findings and reports malformed
-// directives. A directive suppresses its analyzer's findings on its own
-// line (trailing comment) and on the line directly below (comment-above
-// form) — the two places gofmt will keep it.
-func applyDirectives(diags []Diagnostic, directives []directive, known map[string]bool) []Diagnostic {
+// validateDirectives reports malformed directives: no analyzer, an
+// unknown analyzer, or a missing reason. It runs once per lint (in the
+// syntactic tier), never in the typed tier, so a malformed directive is
+// reported exactly once however many tiers scan its package.
+func validateDirectives(directives []directive, known map[string]bool) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range directives {
 		switch {
@@ -353,6 +370,15 @@ func applyDirectives(diags []Diagnostic, directives []directive, known map[strin
 			})
 		}
 	}
+	return out
+}
+
+// suppressDiagnostics drops findings covered by a well-formed allow
+// directive. A directive suppresses its analyzer's findings on its own
+// line (trailing comment) and on the line directly below (comment-above
+// form) — the two places gofmt will keep it.
+func suppressDiagnostics(diags []Diagnostic, directives []directive) []Diagnostic {
+	var out []Diagnostic
 	for _, diag := range diags {
 		if !suppressed(diag, directives) {
 			out = append(out, diag)

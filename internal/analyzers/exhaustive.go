@@ -14,9 +14,19 @@ import (
 // through, instead of failing at runtime in whatever experiment first
 // hits the new value.
 //
-// Registration is discovered syntactically: a composite literal
-// enumTable[P, C]{...} registers P; the constants of P are every const
-// declared with type P in the package (iota inheritance included).
+// Registration is discovered syntactically, two ways. A composite
+// literal enumTable[P, C]{...} registers P (the root package's
+// enummap.go pattern), and any package can opt a type in directly with
+// a //ctmsvet:enum doc-comment line on its declaration:
+//
+//	//ctmsvet:enum
+//	type Class int
+//
+// The constants of a registered type are every const declared with that
+// type in the same package (iota inheritance included), except
+// sentinels named num* (numClasses and friends count values, they are
+// not values). Registration and checking are both per-package;
+// cross-package switches over another package's enum are out of scope.
 var Exhaustive = &Analyzer{
 	Name: "exhaustive",
 	Doc:  "switches over enumTable-registered enum types must cover every value or have a default",
@@ -54,11 +64,45 @@ func runExhaustive(p *Pass) {
 	}
 }
 
+// enumDirective marks a type declaration as an exhaustiveness-checked
+// enum.
+const enumDirective = "//ctmsvet:enum"
+
+func hasEnumDirective(cgs ...*ast.CommentGroup) bool {
+	for _, cg := range cgs {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if strings.TrimSpace(c.Text) == enumDirective {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // registeredEnums finds every type name P used as the first type
-// argument of an enumTable[P, C] composite literal.
+// argument of an enumTable[P, C] composite literal, plus every type
+// declaration carrying a //ctmsvet:enum directive.
 func registeredEnums(p *Pass) map[string]bool {
 	out := make(map[string]bool)
 	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if hasEnumDirective(gd.Doc, ts.Doc, ts.Comment) {
+					out[ts.Name.Name] = true
+				}
+			}
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			cl, ok := n.(*ast.CompositeLit)
 			if !ok {
@@ -118,8 +162,8 @@ func enumConsts(p *Pass, registered map[string]bool) map[string][]string {
 					continue
 				}
 				for _, n := range vs.Names {
-					if n.Name == "_" {
-						continue
+					if n.Name == "_" || strings.HasPrefix(n.Name, "num") {
+						continue // numClasses-style sentinels are counts, not values
 					}
 					out[cur] = append(out[cur], n.Name)
 				}

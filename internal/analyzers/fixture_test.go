@@ -76,8 +76,13 @@ func runFixture(t *testing.T, dir string, as ...*Analyzer) {
 	}
 	idx := BuildIndex([]*Package{pkg})
 	diags := Run([]Target{NewTarget(pkg, as...)}, idx)
-	wants := parseWants(t, pkg)
+	matchWants(t, diags, parseWants(t, pkg))
+}
 
+// matchWants checks diagnostics against want comments in both
+// directions: every diagnostic must be wanted, every want must fire.
+func matchWants(t *testing.T, diags []Diagnostic, wants []wantComment) {
+	t.Helper()
 	for _, d := range diags {
 		found := false
 		for i := range wants {

@@ -1,0 +1,58 @@
+package analyzers
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAllowDirective pins parseAllowDirective's contract as a total
+// function over arbitrary comment text: it never panics, it only
+// accepts text carrying the //ctmsvet:allow prefix, the analyzer token
+// it returns contains no spaces, and the reason comes back trimmed.
+// The suppression machinery and the malformed-directive diagnostics
+// both trust these properties.
+func FuzzAllowDirective(f *testing.F) {
+	f.Add("//ctmsvet:allow determinism seeded fixture clock")
+	f.Add("//ctmsvet:allow units")
+	f.Add("//ctmsvet:allow")
+	f.Add("//ctmsvet:allowx")
+	f.Add("//ctmsvet:allow  hotpath   reason with   spaces  ")
+	f.Add("// ctmsvet:allow hotpath leading space disqualifies")
+	f.Add("//ctmsvet:enum")
+	f.Add("/*ctmsvet:allow block*/")
+	f.Add("")
+	f.Add("//ctmsvet:allow\tmbuflife tab separated")
+	f.Add("//ctmsvet:allow locking nbsp reason")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		analyzer, reason, ok := parseAllowDirective(text)
+		if !ok {
+			if analyzer != "" || reason != "" {
+				t.Fatalf("rejected input returned non-empty parts: %q %q", analyzer, reason)
+			}
+			if strings.HasPrefix(text, directivePrefix) {
+				t.Fatalf("input with the directive prefix was rejected: %q", text)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, directivePrefix) {
+			t.Fatalf("accepted input without the directive prefix: %q", text)
+		}
+		if strings.ContainsRune(analyzer, ' ') {
+			t.Fatalf("analyzer token contains a space: %q (from %q)", analyzer, text)
+		}
+		if trimmed := strings.TrimSpace(reason); trimmed != reason {
+			t.Fatalf("reason not trimmed: %q (from %q)", reason, text)
+		}
+		// An empty analyzer with a non-empty reason would mean the
+		// directive's first token was swallowed.
+		if analyzer == "" && reason != "" {
+			t.Fatalf("empty analyzer but reason %q (from %q)", reason, text)
+		}
+		// The analyzer token is the directive's first field: stripping
+		// ASCII space from it must be a no-op.
+		if strings.TrimFunc(analyzer, func(r rune) bool { return r == ' ' }) != analyzer {
+			t.Fatalf("analyzer has surrounding spaces: %q", analyzer)
+		}
+	})
+}

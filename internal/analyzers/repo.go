@@ -22,43 +22,87 @@ var SimCriticalPackages = []string{
 	"internal/lab",
 }
 
-// All lists every analyzer in the suite, for directive validation and
-// tooling.
+// All lists every syntactic-tier analyzer, for scope policy and
+// tooling; AnalyzerNames (typed.go) spans both tiers.
 var All = []*Analyzer{Determinism, Units, Exhaustive}
 
-// RunRepo runs the suite with its repo scoping rules, rooted at the
-// module root: determinism over the sim-critical packages only (commands
-// and the measurement harness legitimately read the host clock); units
-// and exhaustive over those plus the root package, where the public
-// Options/Session API and the enumTable registry live.
-func RunRepo(root string) ([]Diagnostic, error) {
+// selectSyntactic intersects a scope's analyzer list with an -analyzers
+// selection; an empty selection means everything.
+func selectSyntactic(only []string, as ...*Analyzer) []*Analyzer {
+	if len(only) == 0 {
+		return as
+	}
+	var out []*Analyzer
+	for _, a := range as {
+		for _, n := range only {
+			if a.Name == n {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RunRepo runs the syntactic tier with its repo scoping rules, rooted
+// at the module root: determinism over the sim-critical packages only
+// (commands and the measurement harness legitimately read the host
+// clock); units over those plus the root package, where the public
+// Options/Session API lives; exhaustive over every package, since
+// //ctmsvet:enum registration is per-package and self-gating. Every
+// package joining the run also gets its //ctmsvet:allow directives
+// validated — a typo'd allow in a typed-tier-only package must not rot
+// silently. An optional selection
+// restricts which analyzers run; the cross-package Index is built from
+// the full scope either way, so a restricted run sees the same index a
+// full run does.
+func RunRepo(root string, only ...string) ([]Diagnostic, error) {
 	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
 		return nil, fmt.Errorf("ctmsvet: %s is not a module root (no go.mod)", root)
+	}
+	if err := SelectNames(only); err != nil {
+		return nil, fmt.Errorf("ctmsvet: %w", err)
+	}
+	simCritical := make(map[string]bool)
+	for _, dir := range SimCriticalPackages {
+		simCritical[filepath.Join(root, dir)] = true
+	}
+	dirs, err := modulePackageDirs(root)
+	if err != nil {
+		return nil, err
 	}
 	fset := token.NewFileSet()
 	var pkgs []*Package
 	var targets []Target
-
-	rootPkg, err := LoadPackage(fset, root)
-	if err != nil {
-		return nil, err
-	}
-	if rootPkg != nil {
-		pkgs = append(pkgs, rootPkg)
-		targets = append(targets, NewTarget(rootPkg, Units, Exhaustive))
-	}
-	for _, dir := range SimCriticalPackages {
-		pkg, err := LoadPackage(fset, filepath.Join(root, dir))
+	for _, rel := range dirs {
+		dir := root
+		if rel != "." {
+			dir = filepath.Join(root, filepath.FromSlash(rel))
+		}
+		pkg, err := LoadPackage(fset, dir)
 		if err != nil {
 			return nil, err
 		}
 		if pkg == nil {
 			continue
 		}
-		pkgs = append(pkgs, pkg)
-		targets = append(targets, NewTarget(pkg, Determinism, Units, Exhaustive))
+		var as []*Analyzer
+		switch {
+		case rel == ".":
+			as = selectSyntactic(only, Units, Exhaustive)
+			pkgs = append(pkgs, pkg)
+		case simCritical[dir]:
+			as = selectSyntactic(only, Determinism, Units, Exhaustive)
+			pkgs = append(pkgs, pkg)
+		default:
+			// exhaustive runs everywhere: it only fires on switches over
+			// types a package registered itself (//ctmsvet:enum), so the
+			// wider scope costs nothing where nothing is registered
+			as = selectSyntactic(only, Exhaustive)
+		}
+		targets = append(targets, NewTarget(pkg, as...))
 	}
-	if len(pkgs) == 0 {
+	if len(targets) == 0 {
 		return nil, fmt.Errorf("ctmsvet: no Go packages found under %s", root)
 	}
 	return Run(targets, BuildIndex(pkgs)), nil

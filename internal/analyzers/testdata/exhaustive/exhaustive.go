@@ -122,3 +122,56 @@ func notAnEnumTag(n int) int {
 	}
 	return 1
 }
+
+// Phase opts in via the //ctmsvet:enum directive instead of an
+// enumTable registration.
+//
+//ctmsvet:enum
+type Phase int
+
+const (
+	PhaseIdle Phase = iota
+	PhaseRunning
+	PhaseDone
+	numPhases // num* sentinel: a count, not a value — never required in switches
+)
+
+func directiveMissing(ph Phase) int {
+	switch ph { // want `switch over Phase misses PhaseDone`
+	case PhaseIdle:
+		return 0
+	case PhaseRunning:
+		return 1
+	}
+	return 2
+}
+
+// numPhases is not demanded: covering the three real values suffices.
+func directiveCovered(ph Phase) int {
+	switch ph {
+	case PhaseIdle:
+		return 0
+	case PhaseRunning:
+		return 1
+	case PhaseDone:
+		return 2
+	}
+	return int(numPhases)
+}
+
+// Mode carries the directive on the TypeSpec line comment rather than
+// the doc comment; both spellings register.
+type Mode int //ctmsvet:enum
+
+const (
+	ModeOff Mode = iota
+	ModeOn
+)
+
+func lineCommentDirective(m Mode) int {
+	switch m { // want `switch over Mode misses ModeOn`
+	case ModeOff:
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,114 @@
+// Package hotpath exercises the no-allocation analyzer for functions
+// marked //ctmsvet:hotpath.
+package hotpath
+
+import "fmt"
+
+type item struct{ v int }
+
+type q struct {
+	items []*item
+	buf   []int
+}
+
+// Checkf mirrors sim.Checkf: a guard that panics when cond is false.
+func Checkf(cond bool, format string, args ...any) {
+	if !cond {
+		panic(format)
+	}
+	_ = args
+}
+
+func emit(v any) { _ = v }
+
+//ctmsvet:hotpath
+func (s *q) push(it *item) {
+	s.items = append(s.items, it) // want `append may grow its backing array in hotpath function push`
+}
+
+//ctmsvet:hotpath
+func makeThings(n int) []int {
+	out := make([]int, 0, n) // want `allocates: make in hotpath function makeThings`
+	return out
+}
+
+//ctmsvet:hotpath
+func newItem() *item {
+	return new(item) // want `allocates: new in hotpath function newItem`
+}
+
+//ctmsvet:hotpath
+func build(v int) *item {
+	return &item{v: v} // want `allocates: &item\{\.\.\.\} in hotpath function build`
+}
+
+//ctmsvet:hotpath
+func sliceLit() []int {
+	return []int{1, 2, 3} // want `allocates: slice literal in hotpath function sliceLit`
+}
+
+//ctmsvet:hotpath
+func mapLit() map[int]int {
+	return map[int]int{} // want `allocates: map literal in hotpath function mapLit`
+}
+
+//ctmsvet:hotpath
+func format(n int) string {
+	return fmt.Sprintf("%d", n) // want `fmt.Sprintf allocates in hotpath function format`
+}
+
+//ctmsvet:hotpath
+func boxed(n int) {
+	emit(n) // want `boxes int into interface \(allocates\) in hotpath function boxed`
+}
+
+//ctmsvet:hotpath
+func hotCheckf(t int) {
+	Checkf(t >= 0, "bad value", t) // want `boxes int into interface \(allocates\) in hotpath function hotCheckf`
+}
+
+//ctmsvet:hotpath
+func closure(n int) func() int {
+	return func() int { return n } // want `allocates: closure captures local state in hotpath function closure`
+}
+
+// ---- clean patterns: no diagnostics expected below this line ----
+
+//ctmsvet:hotpath
+func (s *q) compact(i int) {
+	// append to a slice expression compacts in place: exempt
+	s.items = append(s.items[:i], s.items[i+1:]...)
+}
+
+//ctmsvet:hotpath
+func invokedClosure(n int) int {
+	// immediately invoked: no closure value escapes
+	return func() int { return n }()
+}
+
+//ctmsvet:hotpath
+func coldPanic(n int) int {
+	if n < 0 {
+		// cold failure branch: the crash path may allocate
+		panic(fmt.Sprintf("negative %d", n))
+	}
+	return n
+}
+
+//ctmsvet:hotpath
+func coldCheckf(t, now int) int {
+	if t < now {
+		Checkf(false, "time went backwards")
+	}
+	return t - now
+}
+
+//ctmsvet:hotpath
+func (s *q) suppressed(v int) {
+	s.buf = append(s.buf, v) //ctmsvet:allow hotpath buf reaches steady-state capacity after warmup
+}
+
+// coldBuilder carries no directive: allocation is unrestricted.
+func coldBuilder() *item {
+	return &item{}
+}

@@ -1,0 +1,88 @@
+// Package locking exercises the `// guarded by <mu>` convention: a
+// guarded field may only be touched with the named sibling mutex held.
+package locking
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+type misnamed struct {
+	mu sync.Mutex
+	k  int // guarded by lock
+	// want `guarded by lock: struct has no sibling sync.Mutex/RWMutex field named lock`
+}
+
+func (c *counter) badNoLock() {
+	c.n++ // want `n is guarded by mu, which is not held here`
+}
+
+func (c *counter) badEarlyReturn(stop bool) {
+	c.mu.Lock()
+	c.n++
+	if stop {
+		return // want `return while mu is locked \(no defer Unlock on this path\)`
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+func (c *counter) badForgotUnlock() {
+	c.mu.Lock()
+	c.n++
+} // want `mu is still locked at the end of badForgotUnlock \(missing Unlock\)`
+
+func (c counter) badValueReceiver() int { // want `value receiver copies lock-bearing struct .*counter; use a pointer receiver`
+	return 0
+}
+
+func badValueParam(c counter) int { // want `parameter passes lock-bearing struct .*counter by value`
+	return 0
+}
+
+func badDerefCopy(c *counter) {
+	d := *c // want `dereference copies lock-bearing struct .*counter`
+	_ = d
+}
+
+// ---- clean patterns: no diagnostics expected below this line ----
+
+func (c *counter) goodDefer() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) goodPaired() int {
+	c.mu.Lock()
+	v := c.n
+	c.mu.Unlock()
+	return v
+}
+
+// bumpLocked follows the *Locked convention: the caller holds mu.
+func (c *counter) bumpLocked() {
+	c.n++
+}
+
+func (c *counter) goodBranches(add bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if add {
+		c.n++
+	} else {
+		c.n--
+	}
+}
+
+// closureUnclear: a closure runs in an unknown lock context, so the
+// access inside it is not reported either way.
+func (c *counter) closureUnclear() func() {
+	return func() { c.n++ }
+}
+
+func (c *counter) suppressed() int {
+	return c.n //ctmsvet:allow locking racy read is fine for stats snapshots
+}

@@ -73,6 +73,8 @@ func DecodeHeader(b []byte) (Header, error) {
 
 // Classify reports whether the bytes begin a CTMSP packet — the cheap
 // test done at the driver's split point.
+//
+//ctmsvet:hotpath
 func Classify(b []byte) bool {
 	return len(b) >= 2 && binary.BigEndian.Uint16(b) == Magic
 }
@@ -120,6 +122,8 @@ func (c *Conn) RingHeader() []byte { return c.ringHeader }
 func (c *Conn) Stats() TxStats { return c.stats }
 
 // NextHeader stamps the next packet header without building buffers.
+//
+//ctmsvet:hotpath
 func (c *Conn) NextHeader(dataLen int) Header {
 	h := Header{DstDevice: c.dstDevice, PacketNum: c.next, Length: uint32(HeaderSize + dataLen)}
 	c.next++
@@ -133,6 +137,8 @@ func (c *Conn) NextHeader(dataLen int) Header {
 //
 // copyHeaderOnly selects §5.3's "copy only header into fixed DMA buffer"
 // variant; preTransmit and done are the measurement hooks.
+//
+//ctmsvet:hotpath
 func (c *Conn) BuildPacket(dataLen int, copyHeaderOnly bool, preTransmit func(), done func(ring.DeliveryStatus)) *tradapter.Outgoing {
 	total := HeaderSize + dataLen
 	ch := c.k.Pool.AllocNoWait(total)
@@ -148,6 +154,7 @@ func (c *Conn) BuildPacket(dataLen int, copyHeaderOnly bool, preTransmit func(),
 	if copyHeaderOnly {
 		copyBytes = HeaderSize + len(c.ringHeader)
 	}
+	//ctmsvet:allow hotpath one Outgoing descriptor per packet is the driver hand-off contract; the mbuf chain itself is pooled
 	return &tradapter.Outgoing{
 		Chain:       ch,
 		Size:        total,
@@ -181,6 +188,8 @@ func (c *Conn) BuildDataPacket(payload any, dataLen int, preTransmit func(), don
 }
 
 // Event classifies what the receiver saw for one arriving packet.
+//
+//ctmsvet:enum
 type Event int
 
 const (
@@ -235,6 +244,8 @@ type Receiver struct {
 func (r *Receiver) Stats() RxStats { return r.stats }
 
 // Accept processes one arriving packet header and reports what happened.
+//
+//ctmsvet:hotpath
 func (r *Receiver) Accept(h Header, at sim.Time) Event {
 	r.stats.Received++
 	if !r.started {

@@ -249,3 +249,44 @@ func TestReceiverLossAccountingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestPoolBalancedAfterExhaustion pins the alloc-failure contract the
+// mbuflife analyzer guards statically: a failed BuildPacket counts the
+// failure on both the pool and the connection, and strands nothing —
+// the pool is exactly as balanced as after a freed success.
+func TestPoolBalancedAfterExhaustion(t *testing.T) {
+	sched := sim.NewScheduler()
+	r := ring.New(sched, ring.DefaultConfig())
+	m := rtpc.NewMachine(sched, "tx", rtpc.DefaultCostModel(), 1)
+	k := kernel.New(m)
+	k.Pool = kernel.NewPool(sched, 4, 1) // tiny pool
+	st := r.Attach("tx")
+	drv := tradapter.New(k, st, tradapter.DefaultConfig(), tradapter.DefaultTiming())
+	k.Register(drv)
+	conn, err := Dial(k, drv, r.Attach("rx").Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A small packet fits even the tiny pool; build it and free it.
+	p := conn.BuildPacket(64, false, nil, nil)
+	if p == nil {
+		t.Fatal("small packet should fit the tiny pool")
+	}
+	k.Pool.Free(p.Chain)
+
+	// A full-size packet exhausts it: counted, and nothing stranded.
+	if q := conn.BuildPacket(1988, false, nil, nil); q != nil {
+		t.Fatal("tiny pool should fail the full-size allocation")
+	}
+	ps := k.Pool.Stats()
+	if ps.Failures != 1 {
+		t.Fatalf("pool failure accounting: %+v", ps)
+	}
+	if conn.Stats().MbufFailures != 1 {
+		t.Fatalf("connection failure accounting: %+v", conn.Stats())
+	}
+	if ps.Allocs != ps.Frees || ps.SmallInUse != 0 || ps.ClustersInUse != 0 {
+		t.Fatalf("pool unbalanced after exhaustion: %+v", ps)
+	}
+}

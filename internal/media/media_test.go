@@ -331,3 +331,43 @@ func TestClientValidation(t *testing.T) {
 		t.Fatal("empty document must fail")
 	}
 }
+
+// TestPoolBalancedAfterPlayback is the runtime half of the mbuflife
+// analyzer's contract: after a full playback every mbuf chain either
+// machine allocated has been freed — no send, receive, retransmit or
+// error path strands a buffer.
+func TestPoolBalancedAfterPlayback(t *testing.T) {
+	rig := newMediaRig(t)
+	video, videoChunks := VideoTrack(1, 25, 40_000, 500*sim.Millisecond, 10)
+	doc := &Document{Tracks: []Track{video}, Chunks: videoChunks}
+	client, err := NewClient(rig.clientK, rig.clientDrv, doc.Tracks, 100*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(rig.serverK, rig.serverDrv, rig.clientStationID, doc, DefaultServerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	rig.sched.RunUntil(2 * sim.Second)
+	if st := srv.Stats(); !st.Done || st.MbufFailures != 0 {
+		t.Fatalf("playback did not complete cleanly: %+v", st)
+	}
+	if len(client.TrackBytes(1)) == 0 {
+		t.Fatal("client received nothing")
+	}
+
+	ss := rig.serverK.Pool.Stats()
+	if ss.Allocs == 0 {
+		t.Fatal("server sent a document without touching the mbuf pool")
+	}
+	for name, k := range map[string]*kernel.Kernel{"server": rig.serverK, "client": rig.clientK} {
+		ps := k.Pool.Stats()
+		if ps.Allocs != ps.Frees {
+			t.Errorf("%s pool unbalanced: %d allocs vs %d frees", name, ps.Allocs, ps.Frees)
+		}
+		if ps.SmallInUse != 0 || ps.ClustersInUse != 0 {
+			t.Errorf("%s pool still holds buffers: %+v", name, ps)
+		}
+	}
+}

@@ -20,6 +20,8 @@ type Addr uint16
 const Broadcast Addr = 0xFFFF
 
 // FrameKind distinguishes data (LLC) frames from MAC management frames.
+//
+//ctmsvet:enum
 type FrameKind uint8
 
 const (
@@ -40,6 +42,8 @@ func (k FrameKind) String() string {
 }
 
 // MACType enumerates the MAC frames the model generates.
+//
+//ctmsvet:enum
 type MACType uint8
 
 const (

@@ -24,6 +24,8 @@ import (
 // and for degradation order: when capacity shrinks, ClassBackground
 // streams are shed before ClassStandard, and ClassInteractive last.
 // Higher classes also ride the ring at a higher 802.5 access priority.
+//
+//ctmsvet:enum
 type Class int
 
 const (
@@ -58,7 +60,10 @@ func (c Class) RingPriority() int {
 		return 6
 	case ClassStandard:
 		return 4
+	case ClassBackground:
+		return 2
 	}
+	// Out-of-range classes travel with the background traffic.
 	return 2
 }
 

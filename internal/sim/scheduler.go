@@ -62,11 +62,15 @@ func (h eventHeap) Swap(i, j int) {
 	h[i].index = i
 	h[j].index = j
 }
+
+//ctmsvet:hotpath
 func (h *eventHeap) Push(x any) {
 	e := x.(*Event)
 	e.index = len(*h)
-	*h = append(*h, e)
+	*h = append(*h, e) //ctmsvet:allow hotpath heap grows to steady-state depth once, then reuses its backing array
 }
+
+//ctmsvet:hotpath
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
@@ -97,6 +101,8 @@ const maxFreeEvents = 1024
 // alloc reuses a recycled Event when one is available. The simulation's
 // steady state (handlers that fire and re-arm) runs entirely off the free
 // list, so the inner event loop stops allocating per event.
+//
+//ctmsvet:hotpath
 func (s *Scheduler) alloc() *Event {
 	if n := len(s.free); n > 0 {
 		e := s.free[n-1]
@@ -105,22 +111,25 @@ func (s *Scheduler) alloc() *Event {
 		e.cancelled = false
 		return e
 	}
-	return &Event{s: s}
+	return &Event{s: s} //ctmsvet:allow hotpath cold refill path, runs only until the free list reaches steady state
 }
 
 // recycle returns a popped or cancelled event to the free list, dropping
 // its closure and name so they can be collected.
+//
+//ctmsvet:hotpath
 func (s *Scheduler) recycle(e *Event) {
 	e.fn = nil
 	e.name = ""
 	if len(s.free) < maxFreeEvents {
-		s.free = append(s.free, e)
+		s.free = append(s.free, e) //ctmsvet:allow hotpath free list capacity is preallocated at maxFreeEvents and the len guard keeps it there
 	}
 }
 
-// NewScheduler returns a scheduler with the clock at zero.
+// NewScheduler returns a scheduler with the clock at zero. The event
+// free list is preallocated to its cap so recycle never grows it.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	return &Scheduler{free: make([]*Event, 0, maxFreeEvents)}
 }
 
 // Now reports the current simulated time.
@@ -136,10 +145,19 @@ func (s *Scheduler) SetTrace(t *Trace) { s.trace = t }
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past is an invariant violation: the model must never depend on
-// re-ordering history.
+// re-ordering history. The guards are written condition-first so the
+// passing case never boxes the Checkf arguments into its variadic any
+// slice — At runs once per event, and those boxes were a measurable
+// slice of the event loop's allocations.
+//
+//ctmsvet:hotpath
 func (s *Scheduler) At(t Time, name string, fn func()) *Event {
-	Checkf(t >= s.now, "event %q scheduled at %v, before now %v", name, t, s.now)
-	Checkf(fn != nil, "event %q scheduled with nil callback", name)
+	if t < s.now {
+		Checkf(false, "event %q scheduled at %v, before now %v", name, t, s.now)
+	}
+	if fn == nil {
+		Checkf(false, "event %q scheduled with nil callback", name)
+	}
 	e := s.alloc()
 	e.at, e.seq, e.fn, e.name = t, s.seq, fn, name
 	s.seq++
@@ -148,8 +166,12 @@ func (s *Scheduler) At(t Time, name string, fn func()) *Event {
 }
 
 // After schedules fn to run d after the current simulated time.
+//
+//ctmsvet:hotpath
 func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
-	Checkf(d >= 0, "event %q scheduled with negative delay %v", name, d)
+	if d < 0 {
+		Checkf(false, "event %q scheduled with negative delay %v", name, d)
+	}
 	return s.At(s.now+d, name, fn)
 }
 
@@ -158,6 +180,16 @@ func (s *Scheduler) After(d Duration, name string, fn func()) *Event {
 func (s *Scheduler) Every(period Duration, name string, fn func()) *Repeater {
 	Checkf(period > 0, "repeater %q needs a positive period, got %v", name, period)
 	r := &Repeater{s: s, period: period, name: name, fn: fn}
+	// The tick closure is built once here, not per arm: re-arming is a
+	// per-tick hot path and a fresh closure every period is an
+	// allocation the free list cannot absorb.
+	r.tick = func() {
+		if r.stopped {
+			return
+		}
+		r.arm()
+		r.fn()
+	}
 	r.arm()
 	return r
 }
@@ -169,18 +201,14 @@ type Repeater struct {
 	period  Duration
 	name    string
 	fn      func()
+	tick    func() // wraps fn; built once in Every, reused every arm
 	next    *Event
 	stopped bool
 }
 
+//ctmsvet:hotpath
 func (r *Repeater) arm() {
-	r.next = r.s.After(r.period, r.name, func() {
-		if r.stopped {
-			return
-		}
-		r.arm()
-		r.fn()
-	})
+	r.next = r.s.After(r.period, r.name, r.tick)
 }
 
 // Stop halts future firings. The callback will not run again.
@@ -202,12 +230,16 @@ func (s *Scheduler) Pending() int { return len(s.events) }
 // step dispatches the earliest pending event. It reports false when the
 // queue is empty. The heap never holds cancelled events (Cancel removes
 // them eagerly), so the head is always live.
+//
+//ctmsvet:hotpath
 func (s *Scheduler) step() bool {
 	if len(s.events) == 0 {
 		return false
 	}
 	e := heap.Pop(&s.events).(*Event)
-	Checkf(e.at >= s.now, "time went backwards: event %q at %v, now %v", e.name, e.at, s.now)
+	if e.at < s.now {
+		Checkf(false, "time went backwards: event %q at %v, now %v", e.name, e.at, s.now)
+	}
 	s.now = e.at
 	s.fired++
 	if s.trace != nil {

@@ -24,6 +24,8 @@ import (
 )
 
 // Class is the protocol class of a packet at the driver's split point.
+//
+//ctmsvet:enum
 type Class uint8
 
 const (
@@ -327,6 +329,8 @@ func BuildRingHeader(src, dst ring.Addr) []byte {
 
 // Output queues a packet for transmission. Safe to call from any level;
 // the driver's own work runs at network interrupt level.
+//
+//ctmsvet:hotpath
 func (d *Driver) Output(p *Outgoing) {
 	sim.Checkf(p.Size > 0, "zero-size packet")
 	q := 0
@@ -334,7 +338,7 @@ func (d *Driver) Output(p *Outgoing) {
 		q = 1
 	}
 	p.queuedAt = d.k.Sched().Now()
-	d.txQueues[q] = append(d.txQueues[q], p)
+	d.txQueues[q] = append(d.txQueues[q], p) //ctmsvet:allow hotpath tx queue grows to its backlog high-water mark once, then reuses the array
 	d.stats.TxQueued[p.Class]++
 	if depth := len(d.txQueues[0]) + len(d.txQueues[1]); depth > d.stats.MaxTxQueue {
 		d.stats.MaxTxQueue = depth
@@ -342,6 +346,7 @@ func (d *Driver) Output(p *Outgoing) {
 	d.pumpTx()
 }
 
+//ctmsvet:hotpath
 func (d *Driver) freeTxBuf() *rtpc.Buffer {
 	for _, b := range d.txBufs {
 		if !b.InUse() {
@@ -351,6 +356,7 @@ func (d *Driver) freeTxBuf() *rtpc.Buffer {
 	return nil
 }
 
+//ctmsvet:hotpath
 func (d *Driver) nextTx() *Outgoing {
 	for q := 1; q >= 0; q-- {
 		if len(d.txQueues[q]) == 0 {
@@ -436,6 +442,8 @@ func (d *Driver) pumpTx() {
 
 // pumpWire starts the adapter on the next fully-copied packet, strictly
 // in copy order.
+//
+//ctmsvet:hotpath
 func (d *Driver) pumpWire() {
 	if d.wireBusy || len(d.wireQ) == 0 {
 		return
