@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint lint-fast build test race bench api-check api-golden clean
+.PHONY: ci vet lint lint-fast build test race bench bench-check bench-baseline api-check api-golden clean
 
-ci: vet lint build race bench api-check
+ci: vet lint build race bench bench-check api-check
 
 vet:
 	$(GO) vet ./...
@@ -38,6 +38,21 @@ race:
 # compile or panic, without paying for stable numbers.
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkSimulatorThroughput -benchtime 1x -benchmem .
+
+# Perf-regression gate: run the E17 smoke serially (per-run allocation
+# and sim-time accounting need -parallel 1) and compare against the
+# committed baseline. ctmsbench -compare exits nonzero when mallocs grow
+# more than 10% or sim-seconds-per-second drops more than 50% — wide
+# enough to absorb shared-runner noise, tight enough to catch a
+# reverted allocation fix or an accounting bug that zeroes sim_seconds.
+# Refresh the baseline with: make bench-baseline (on a quiet machine).
+bench-check:
+	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
+		-benchout /tmp/ctmsbench-check.json -compare BENCH.baseline.json
+
+bench-baseline:
+	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
+		-benchout BENCH.baseline.json
 
 # The public API surface (go doc -all of the root package) is pinned in
 # api/golden.txt: api-check fails on any drift, api-golden accepts it.

@@ -41,25 +41,51 @@ import (
 	"repro/internal/sim"
 )
 
-// timedResult pairs one experiment's outcome with its host wall time.
+// timedResult pairs one experiment's outcome with its host wall time and,
+// in serial runs, its allocation and simulated-work deltas.
 // The timing lives here rather than in core.RunMatrix so internal/core
 // stays clock-free (the determinism analyzer enforces that); dispatch
 // still fans out across the same lab pool with collection by index.
 type timedResult struct {
 	core.MatrixResult
-	wall time.Duration
+	wall       time.Duration
+	mallocs    uint64   // serial runs only; 0 under parallel dispatch
+	allocBytes uint64   // "
+	simTime    sim.Time // "
+	events     uint64   // "
 }
 
 // runMatrixTimed is core.RunMatrix plus per-experiment wall bookkeeping.
+// With parallelism 1 it also brackets each experiment with memory and
+// simulated-work counters; under parallel dispatch those deltas would mix
+// concurrent experiments, so they are left zero there.
 func runMatrixTimed(exps []core.Experiment, s core.Scale, parallelism int) []timedResult {
 	pool := lab.New(parallelism)
+	serial := parallelism == 1
 	return lab.Map(pool, len(exps), func(i int) timedResult {
+		var before runtime.MemStats
+		var simBefore sim.Time
+		var firedBefore uint64
+		if serial {
+			runtime.ReadMemStats(&before)
+			simBefore = sim.TotalSimulated()
+			firedBefore = sim.TotalFired()
+		}
 		start := time.Now()
 		cmp := exps[i].Run(s)
-		return timedResult{
+		tr := timedResult{
 			MatrixResult: core.MatrixResult{Experiment: exps[i], Comparison: cmp},
 			wall:         time.Since(start),
 		}
+		if serial {
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			tr.mallocs = after.Mallocs - before.Mallocs
+			tr.allocBytes = after.TotalAlloc - before.TotalAlloc
+			tr.simTime = sim.TotalSimulated() - simBefore
+			tr.events = sim.TotalFired() - firedBefore
+		}
+		return tr
 	})
 }
 
@@ -74,17 +100,26 @@ type benchRecord struct {
 	SimSecPerSec float64           `json:"sim_seconds_per_second"`
 	Mallocs      uint64            `json:"mallocs"`
 	AllocBytes   uint64            `json:"alloc_bytes"`
+	Events       uint64            `json:"events"`
 	Failures     int               `json:"failures"`
 	Experiments  []benchExperiment `json:"experiments"`
 }
 
+// The per-experiment allocation/simulated-work columns are measured only
+// when -parallel 1: under parallel dispatch the process-wide counters
+// interleave across experiments, so the columns stay zero there.
 type benchExperiment struct {
-	ID          string  `json:"id"`
-	Source      string  `json:"source"`
-	Title       string  `json:"title"`
-	WallSeconds float64 `json:"wall_seconds"`
-	Metrics     int     `json:"metrics"`
-	OK          bool    `json:"ok"`
+	ID           string  `json:"id"`
+	Source       string  `json:"source"`
+	Title        string  `json:"title"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	Metrics      int     `json:"metrics"`
+	OK           bool    `json:"ok"`
+	Mallocs      uint64  `json:"mallocs,omitempty"`
+	AllocBytes   uint64  `json:"alloc_bytes,omitempty"`
+	SimSeconds   float64 `json:"sim_seconds,omitempty"`
+	Events       uint64  `json:"events,omitempty"`
+	SimSecPerSec float64 `json:"sim_seconds_per_second,omitempty"`
 }
 
 func main() {
@@ -97,6 +132,9 @@ func main() {
 		markdown   = flag.Bool("markdown", false, "emit a markdown report")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the matrix (1 = serial)")
 		benchout   = flag.String("benchout", "BENCH.json", "write the machine-readable perf record here (empty disables)")
+		compare    = flag.String("compare", "", "compare this run against a baseline BENCH.json; exit nonzero on regression")
+		mallocTol  = flag.Float64("malloc-tolerance", 0.10, "with -compare: allowed fractional mallocs growth over the baseline")
+		speedTol   = flag.Float64("speed-tolerance", 0.50, "with -compare: allowed fractional sim_seconds_per_second loss vs the baseline")
 	)
 	flag.Parse()
 
@@ -127,13 +165,14 @@ func main() {
 
 	var before runtime.MemStats
 	runtime.ReadMemStats(&before)
-	simBefore := core.SimulatedTotal()
+	simBefore := sim.TotalSimulated()
+	firedBefore := sim.TotalFired()
 	start := time.Now()
 
 	results := runMatrixTimed(exps, scale, *parallel)
 
 	wall := time.Since(start)
-	simRun := core.SimulatedTotal() - simBefore
+	simRun := sim.TotalSimulated() - simBefore
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
 
@@ -148,25 +187,38 @@ func main() {
 		SimSecPerSec: simRun.Seconds() / wall.Seconds(),
 		Mallocs:      after.Mallocs - before.Mallocs,
 		AllocBytes:   after.TotalAlloc - before.TotalAlloc,
+		Events:       sim.TotalFired() - firedBefore,
 	}
 	for _, mr := range results {
 		ok := mr.Comparison.AllOK()
 		if !ok {
 			failures++
 		}
-		rec.Experiments = append(rec.Experiments, benchExperiment{
+		be := benchExperiment{
 			ID:          mr.Experiment.ID,
 			Source:      mr.Experiment.Source,
 			Title:       mr.Experiment.Title,
 			WallSeconds: mr.wall.Seconds(),
 			Metrics:     len(mr.Comparison.Metrics),
 			OK:          ok,
-		})
+			Mallocs:     mr.mallocs,
+			AllocBytes:  mr.allocBytes,
+			SimSeconds:  mr.simTime.Seconds(),
+			Events:      mr.events,
+		}
+		if mr.wall > 0 {
+			be.SimSecPerSec = mr.simTime.Seconds() / mr.wall.Seconds()
+		}
+		rec.Experiments = append(rec.Experiments, be)
 		if *markdown {
 			printMarkdown(mr.Experiment, mr.Comparison)
 		} else {
 			fmt.Printf("=== %s (%s) %s  [wall %v]\n",
 				mr.Experiment.ID, mr.Experiment.Source, mr.Experiment.Title, mr.wall.Round(time.Millisecond))
+			if mr.events > 0 {
+				fmt.Printf("    allocs %d  events %d  sim %.0fs (%.0f simsec/s)\n",
+					mr.mallocs, mr.events, be.SimSeconds, be.SimSecPerSec)
+			}
 			fmt.Print(mr.Comparison.Render())
 			for name, fig := range mr.Comparison.Figures {
 				fmt.Printf("\n%s\n%s\n", name, fig)
@@ -191,6 +243,52 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ctmsbench: %d experiment(s) deviated from the paper's shape\n", failures)
 		os.Exit(1)
 	}
+	if *compare != "" {
+		if err := compareBench(*compare, rec, *mallocTol, *speedTol); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsbench: regression vs %s:\n%v\n", *compare, err)
+			os.Exit(3)
+		}
+		fmt.Printf("--- no regression vs %s (mallocs within +%.0f%%, simsec/s within -%.0f%%)\n",
+			*compare, 100**mallocTol, 100**speedTol)
+	}
+}
+
+// compareBench checks the just-produced record against a baseline
+// BENCH.json. It fails when mallocs grew past the malloc tolerance, when
+// simulated-seconds-per-second fell past the speed tolerance, or when
+// either record lacks a measured (nonzero) sim_seconds — a zero there
+// means the gate would be comparing noise, the exact bug the counter
+// rework fixed. Wall-clock speed is compared loosely by design: CI
+// machines vary, but an order-of-magnitude slide or a silent return of
+// per-event allocation should stop a merge.
+func compareBench(path string, rec benchRecord, mallocTol, speedTol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parsing baseline: %w", err)
+	}
+	var problems []string
+	if base.SimSeconds <= 0 {
+		problems = append(problems, fmt.Sprintf("baseline sim_seconds is %v (not a measured record)", base.SimSeconds))
+	}
+	if rec.SimSeconds <= 0 {
+		problems = append(problems, fmt.Sprintf("this run's sim_seconds is %v (simulated-time accounting broken)", rec.SimSeconds))
+	}
+	if limit := float64(base.Mallocs) * (1 + mallocTol); base.Mallocs > 0 && float64(rec.Mallocs) > limit {
+		problems = append(problems, fmt.Sprintf("mallocs %d exceeds baseline %d by more than %.0f%% (limit %.0f)",
+			rec.Mallocs, base.Mallocs, 100*mallocTol, limit))
+	}
+	if floor := base.SimSecPerSec * (1 - speedTol); base.SimSecPerSec > 0 && rec.SimSecPerSec < floor {
+		problems = append(problems, fmt.Sprintf("sim_seconds_per_second %.1f fell below baseline %.1f by more than %.0f%% (floor %.1f)",
+			rec.SimSecPerSec, base.SimSecPerSec, 100*speedTol, floor))
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
 }
 
 // runScenarios loads a JSON scenario file (one ctms.Options or an array)

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sync/atomic"
-
 	"repro/internal/ctmsp"
 	"repro/internal/inet"
 	"repro/internal/kernel"
@@ -23,31 +21,18 @@ const populationStations = 64
 // tapCaptureLimit bounds the TAP monitor's capture buffer for long runs.
 const tapCaptureLimit = 1 << 18
 
-// simulatedTotal accumulates the simulated time covered by every
-// successful Run in this process, across all goroutines. ctmsbench
-// divides it by wall time for the BENCH.json simsec/s figure.
-var simulatedTotal atomic.Int64
-
-// SimulatedTotal reports the cumulative simulated time executed by Run so
-// far (all runs, all goroutines).
-func SimulatedTotal() sim.Time { return sim.Time(simulatedTotal.Load()) }
-
 // Run executes the scenario described by cfg and returns its results.
+// Simulated-time accounting happens inside sim itself (every scheduler
+// flushes into sim.TotalSimulated when a run returns), so Run needs no
+// bookkeeping here and mini-sims like the session layer's are counted too.
 func Run(cfg Config) (*Results, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	var r *Results
-	var err error
 	if cfg.Protocol == ProtocolStockUnix {
-		r, err = runStock(cfg)
-	} else {
-		r, err = runCTMSP(cfg)
+		return runStock(cfg)
 	}
-	if err == nil {
-		simulatedTotal.Add(int64(cfg.Duration))
-	}
-	return r, err
+	return runCTMSP(cfg)
 }
 
 // RunWithTAP runs the scenario and also returns the live TAP monitor so

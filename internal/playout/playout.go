@@ -27,6 +27,13 @@ type Stats struct {
 	Delivered uint64
 }
 
+// EvGlitch is the structured trace kind for a playout underrun: A = the
+// cumulative glitch count, B = the shortfall in bytes. Kind block 32–47
+// belongs to playout.
+const EvGlitch sim.EventKind = 32
+
+func init() { sim.RegisterEventKind(EvGlitch, "playout.glitch") }
+
 // Playout models the digital-to-audio subsystem: after an initial
 // prebuffer delay it consumes the stream at a constant byte rate; an
 // arriving-packet history plus analytic drain between events gives exact
@@ -34,6 +41,7 @@ type Stats struct {
 type Playout struct {
 	bytesPerSec float64
 	prebuffer   sim.Time
+	trace       *sim.Trace
 
 	started  bool
 	playAt   sim.Time // when consumption begins
@@ -44,6 +52,11 @@ type Playout struct {
 
 	stats Stats
 }
+
+// SetTrace attaches a structured trace that records each underrun.
+// Playout has no scheduler reference, so the trace is wired explicitly;
+// a nil trace (the default) costs one pointer test per glitch.
+func (p *Playout) SetTrace(t *sim.Trace) { p.trace = t }
 
 // New creates the model. rateBytesPerSec is the stream's consumption
 // rate; prebuffer delays playback after the first packet.
@@ -85,6 +98,7 @@ func (p *Playout) drainTo(t sim.Time) {
 			p.stats.Glitches++
 			p.starved = true
 			p.starvedA = t
+			p.trace.AddEvent(t, EvGlitch, int64(p.stats.Glitches), int64(shortfall))
 		}
 	}
 	p.lastT = t

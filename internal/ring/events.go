@@ -1,0 +1,23 @@
+package ring
+
+import "repro/internal/sim"
+
+// Structured trace kinds recorded by the ring. Kind numbers are allocated
+// in disjoint per-package blocks (ring owns 1–15) so one registry serves
+// the whole simulator.
+const (
+	// EvTx records a completed data/MAC transmission: A = frame sequence
+	// number, B = frame size in bytes.
+	EvTx sim.EventKind = 1
+	// EvPurge records the start of a Ring Purge: A = cumulative purge
+	// count, B = outage duration in nanoseconds.
+	EvPurge sim.EventKind = 2
+	// EvInsertion records a station insertion: A = purge burst length.
+	EvInsertion sim.EventKind = 3
+)
+
+func init() {
+	sim.RegisterEventKind(EvTx, "ring.tx")
+	sim.RegisterEventKind(EvPurge, "ring.purge")
+	sim.RegisterEventKind(EvInsertion, "ring.insertion")
+}

@@ -268,6 +268,7 @@ func (r *Ring) finish(req *txRequest, start, end sim.Time, purged bool) {
 		r.c.PurgeLost++
 	} else {
 		r.deliver(req.f, &status)
+		r.sched.Trace().AddEvent(r.sched.Now(), EvTx, int64(req.f.Seq), int64(req.f.Size))
 		r.c.FramesSent++
 		r.c.BytesSent += uint64(req.f.Size)
 		r.c.ByPriority[req.f.Priority]++
@@ -331,6 +332,7 @@ func (req *txRequest) done(s DeliveryStatus) {
 func (r *Ring) Purge() {
 	now := r.sched.Now()
 	r.c.PurgeCount++
+	r.sched.Trace().AddEvent(now, EvPurge, int64(r.c.PurgeCount), int64(r.cfg.PurgeDuration))
 	for _, fn := range r.purgeHooks {
 		fn(now)
 	}
@@ -393,6 +395,7 @@ func (r *Ring) activeMonitor() *Station {
 func (r *Ring) Insertion(purges int) {
 	sim.Checkf(purges > 0, "insertion needs at least one purge")
 	r.c.InsertionSeen++
+	r.sched.Trace().AddEvent(r.sched.Now(), EvInsertion, int64(purges), 0)
 	for i := 0; i < purges; i++ {
 		d := sim.Time(i) * r.cfg.PurgeDuration
 		r.sched.After(d, "ring.insertion-purge", r.Purge)

@@ -39,14 +39,52 @@ func Mark(name string, fn func()) Seg {
 	return Seg{Name: name, Fn: func() []Seg { fn(); return nil }}
 }
 
-// Task is a unit of schedulable work at an interrupt level.
+// Task is a unit of schedulable work at an interrupt level. Tasks are
+// recycled through a per-CPU free list: the pointer is owned by the CPU
+// from Submit until the last segment completes, and callers never see it.
 type task struct {
 	level     int
 	name      string
+	label     string // cached "<cpu>.<name>", the dispatch event label
 	segs      []Seg
+	next      int // index of the next segment to run; segs is never re-sliced
 	onDone    func()
 	submitted sim.Time
 	started   bool
+}
+
+// taskq is a FIFO of pending tasks at one interrupt level. Pop advances a
+// head index instead of re-slicing, so the backing array is reused across
+// the run instead of reallocated once per task; it compacts only when the
+// dead prefix dominates.
+type taskq struct {
+	items []*task
+	head  int
+}
+
+func (q *taskq) len() int { return len(q.items) - q.head }
+
+//ctmsvet:hotpath
+func (q *taskq) push(t *task) {
+	q.items = append(q.items, t) //ctmsvet:allow hotpath queue grows to steady-state depth once, then reuses its backing array
+}
+
+//ctmsvet:hotpath
+func (q *taskq) pop() *task {
+	t := q.items[q.head]
+	q.items[q.head] = nil
+	q.head++
+	switch {
+	case q.head == len(q.items):
+		q.items = q.items[:0]
+		q.head = 0
+	case q.head >= 32 && q.head*2 >= len(q.items):
+		n := copy(q.items, q.items[q.head:])
+		clear(q.items[n:])
+		q.items = q.items[:n]
+		q.head = 0
+	}
+	return t
 }
 
 // CPUStats aggregates CPU-level accounting.
@@ -63,11 +101,22 @@ type CPUStats struct {
 type CPU struct {
 	sched   *sim.Scheduler
 	name    string
-	pending [NumLevels][]*task
+	pending [NumLevels]taskq
 	stack   []*task // running task stack; top is executing
 	inSeg   bool    // a segment is currently burning cycles
 	mask    int     // spl: tasks at level ≤ mask cannot start
 	kick    bool    // a dispatch kick event is queued
+
+	// Dispatch runs once per task and segment ends run once per segment —
+	// the busiest paths in the whole simulator — so their event labels and
+	// callbacks are built once here, not per event.
+	kickName string // "<cpu>.dispatch"
+	kickFn   func()
+	segEnd   func()            // shared end-of-segment callback
+	segTask  *task             // task whose segment is in flight (inSeg)
+	segFn    func() []Seg      // that segment's completion action
+	labels   map[string]string // task name → "<cpu>.<name>" label cache
+	free     []*task           // recycled task objects
 
 	sysDMAActive int // DMA engines currently targeting system memory
 	interference float64
@@ -75,10 +124,91 @@ type CPU struct {
 	stats CPUStats
 }
 
+// maxFreeTasks caps the task free list; the steady state needs only as
+// many tasks as can be simultaneously pending plus stacked.
+const maxFreeTasks = 256
+
 // NewCPU creates a CPU driven by sched. interference is the fractional
 // slowdown applied to segment execution per active system-memory DMA.
 func NewCPU(sched *sim.Scheduler, name string, interference float64) *CPU {
-	return &CPU{sched: sched, name: name, interference: interference, mask: -1}
+	c := &CPU{
+		sched:        sched,
+		name:         name,
+		interference: interference,
+		mask:         -1,
+		kickName:     name + ".dispatch",
+		labels:       make(map[string]string),
+		free:         make([]*task, 0, maxFreeTasks),
+	}
+	c.kickFn = func() {
+		c.kick = false
+		c.dispatch()
+	}
+	// One segment is in flight at a time (inSeg gates dispatch and
+	// preemption happens only at segment boundaries), so a single shared
+	// callback reading segTask/segFn replaces a fresh closure per segment.
+	c.segEnd = func() {
+		c.inSeg = false
+		t, fn := c.segTask, c.segFn
+		c.segTask, c.segFn = nil, nil
+		if fn != nil {
+			if more := fn(); len(more) > 0 {
+				if t.next >= len(t.segs) {
+					// Common case: the finished segment was the last one;
+					// adopt the returned slice outright.
+					t.segs, t.next = more, 0
+				} else {
+					rest := t.segs[t.next:]
+					ns := make([]Seg, 0, len(more)+len(rest))
+					ns = append(ns, more...)
+					ns = append(ns, rest...)
+					t.segs, t.next = ns, 0
+				}
+			}
+		}
+		c.dispatch()
+	}
+	return c
+}
+
+// allocTask reuses a recycled task when one is available; the steady
+// state runs entirely off the free list.
+//
+//ctmsvet:hotpath
+func (c *CPU) allocTask() *task {
+	if n := len(c.free); n > 0 {
+		t := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return t
+	}
+	return &task{} //ctmsvet:allow hotpath cold refill path, runs only until the free list reaches steady state
+}
+
+// recycleTask drops a completed task's references and returns it to the
+// free list.
+//
+//ctmsvet:hotpath
+func (c *CPU) recycleTask(t *task) {
+	t.segs, t.onDone = nil, nil
+	t.next = 0
+	t.name, t.label = "", ""
+	if len(c.free) < maxFreeTasks {
+		c.free = append(c.free, t) //ctmsvet:allow hotpath free list capacity is preallocated at maxFreeTasks and the len guard keeps it there
+	}
+}
+
+// label caches the per-task dispatch label so the hot paths concatenate
+// once per distinct task name, not once per submission.
+//
+//ctmsvet:hotpath
+func (c *CPU) label(name string) string {
+	if l, ok := c.labels[name]; ok {
+		return l
+	}
+	l := c.name + "." + name //ctmsvet:allow hotpath cold miss path, runs once per distinct task name
+	c.labels[name] = l
+	return l
 }
 
 // Now reports simulated time.
@@ -121,10 +251,19 @@ func (c *CPU) Mask() int { return c.mask }
 // fires when the task's last segment completes. Dispatch happens at the
 // next segment boundary; a higher-level task preempts a lower-level one
 // there.
+//
+//ctmsvet:hotpath
 func (c *CPU) Submit(level int, name string, segs []Seg, onDone func()) {
-	sim.Checkf(level >= 0 && level < NumLevels, "task %q level %d out of range", name, level)
-	t := &task{level: level, name: name, segs: segs, onDone: onDone, submitted: c.sched.Now()}
-	c.pending[level] = append(c.pending[level], t)
+	if level < 0 || level >= NumLevels {
+		sim.Checkf(false, "task %q level %d out of range", name, level)
+	}
+	t := c.allocTask()
+	t.level, t.name, t.label = level, name, c.label(name)
+	t.segs, t.next = segs, 0
+	t.onDone = onDone
+	t.submitted = c.sched.Now()
+	t.started = false
+	c.pending[level].push(t)
 	c.requestKick()
 }
 
@@ -140,29 +279,31 @@ func (c *CPU) Running() string {
 }
 
 // QueueDepth reports pending tasks at a level.
-func (c *CPU) QueueDepth(level int) int { return len(c.pending[level]) }
+func (c *CPU) QueueDepth(level int) int { return c.pending[level].len() }
 
 // requestKick schedules a dispatch pass. Using a zero-delay event keeps
 // Submit safe to call from inside segment callbacks without re-entering
-// the dispatcher.
+// the dispatcher. The event label and callback are the prebuilt
+// kickName/kickFn — this runs once per task and must not allocate.
+//
+//ctmsvet:hotpath
 func (c *CPU) requestKick() {
 	if c.kick {
 		return
 	}
 	c.kick = true
-	c.sched.After(0, c.name+".dispatch", func() {
-		c.kick = false
-		c.dispatch()
-	})
+	c.sched.After(0, c.kickName, c.kickFn)
 }
 
 // bestPending reports the highest pending level above the spl mask, or -1.
+//
+//ctmsvet:hotpath
 func (c *CPU) bestPending() int {
 	for l := NumLevels - 1; l >= 0; l-- {
 		if l <= c.mask {
 			break
 		}
-		if len(c.pending[l]) > 0 {
+		if c.pending[l].len() > 0 {
 			return l
 		}
 	}
@@ -182,8 +323,7 @@ func (c *CPU) dispatch() {
 		return // idle, nothing to do
 	case cur == nil || best > cur.level:
 		// Start (or preempt into) the highest pending task.
-		t := c.pending[best][0]
-		c.pending[best] = c.pending[best][1:]
+		t := c.pending[best].pop()
 		if cur != nil {
 			c.stats.Preemptions++
 		}
@@ -208,23 +348,30 @@ func (c *CPU) top() *task {
 	return c.stack[len(c.stack)-1]
 }
 
-// runSeg executes the current task's next segment.
+// runSeg executes the current task's next segment. Per-segment work is
+// the simulator's innermost loop: the end-of-segment event reuses the
+// shared segEnd callback and the task's cached label, so a segment costs
+// one (recycled) scheduler event and nothing else.
+//
+//ctmsvet:hotpath
 func (c *CPU) runSeg() {
 	t := c.top()
 	if t == nil {
 		return
 	}
-	if len(t.segs) == 0 {
+	if t.next >= len(t.segs) {
 		// Task complete.
 		c.stack = c.stack[:len(c.stack)-1]
-		if t.onDone != nil {
-			t.onDone()
+		done := t.onDone
+		c.recycleTask(t)
+		if done != nil {
+			done()
 		}
 		c.requestKick()
 		return
 	}
-	seg := t.segs[0]
-	t.segs = t.segs[1:]
+	seg := &t.segs[t.next]
+	t.next++
 
 	dur := seg.Cost
 	if c.sysDMAActive > 0 && c.interference > 0 {
@@ -233,16 +380,9 @@ func (c *CPU) runSeg() {
 	c.inSeg = true
 	c.stats.SegsRun++
 	c.stats.BusyTime += dur
-	c.sched.After(dur, c.name+"."+t.name+"/"+seg.Name, func() {
-		c.inSeg = false
-		if seg.Fn != nil {
-			more := seg.Fn()
-			if len(more) > 0 {
-				t.segs = append(append([]Seg{}, more...), t.segs...)
-			}
-		}
-		c.dispatch()
-	})
+	c.segTask = t
+	c.segFn = seg.Fn
+	c.sched.After(dur, t.label, c.segEnd)
 }
 
 // dmaStarted/dmaEnded are called by DMA engines to register cycle steal.

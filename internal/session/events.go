@@ -1,0 +1,23 @@
+package session
+
+import "repro/internal/sim"
+
+// Structured trace kinds recorded by the session layer. Kind block 16–31
+// belongs to session (ring owns 1–15, playout 32–47).
+const (
+	// EvAdmit records an admitted stream: A = stream index, B = reserved
+	// bits/s.
+	EvAdmit sim.EventKind = 16
+	// EvReject records a rejected stream: A = stream index, B = offered
+	// bits/s that did not fit the budget.
+	EvReject sim.EventKind = 17
+	// EvShed records a purge-driven shed: A = stream index, B = released
+	// bits/s.
+	EvShed sim.EventKind = 18
+)
+
+func init() {
+	sim.RegisterEventKind(EvAdmit, "session.admit")
+	sim.RegisterEventKind(EvReject, "session.reject")
+	sim.RegisterEventKind(EvShed, "session.shed")
+}

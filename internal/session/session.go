@@ -98,6 +98,12 @@ type Config struct {
 	// packet (0 = DefaultPrebuffer).
 	PlayoutPrebuffer sim.Time
 
+	// Trace, when non-nil, is attached to the run's scheduler and receives
+	// structured events (admissions, sheds, ring purges, playout glitches)
+	// with no formatting cost on the hot path. Leave nil for benchmarked
+	// runs.
+	Trace *sim.Trace
+
 	Streams []StreamSpec
 }
 
@@ -297,6 +303,7 @@ func Run(cfg Config) (*Results, error) {
 	cfg = cfg.withDefaults()
 
 	sched := sim.NewScheduler()
+	sched.SetTrace(cfg.Trace)
 	rng := sim.NewRNG(cfg.Seed)
 
 	ringCfg := ring.DefaultConfig()
@@ -345,9 +352,11 @@ func Run(cfg Config) (*Results, error) {
 		results.Streams[i] = StreamResult{Spec: spec, Decision: dec}
 		if !dec.Admitted {
 			results.Rejected++
+			cfg.Trace.AddEvent(sched.Now(), EvReject, int64(i), bits)
 			continue
 		}
 		results.Admitted++
+		cfg.Trace.AddEvent(sched.Now(), EvAdmit, int64(i), dec.ReservedBits)
 		r.ReserveBits(bits)
 		st, err := buildStream(cfg, i, spec, sched, r)
 		if err != nil {
@@ -366,6 +375,7 @@ func Run(cfg Config) (*Results, error) {
 		st.dev.Stop()
 		ctrl.Release(st.idx)
 		r.ReserveBits(-st.spec.OfferedBits())
+		cfg.Trace.AddEvent(at, EvShed, int64(st.idx), st.spec.OfferedBits())
 	}
 
 	// Graceful degradation: every Ring Purge charges the budget with its
@@ -480,6 +490,7 @@ func buildStream(cfg Config, i int, spec StreamSpec, sched *sim.Scheduler, r *ri
 
 	streamBytesPerSec := float64(spec.PacketBytes-ctmsp.HeaderSize) / spec.Interval.Seconds()
 	play := playout.New(streamBytesPerSec, cfg.PlayoutPrebuffer)
+	play.SetTrace(sched.Trace())
 	rxDrv.OnDelivered = func(h ctmsp.Header, at sim.Time, ev ctmsp.Event) {
 		if ev == ctmsp.InOrder || ev == ctmsp.Gap {
 			play.Deliver(int(h.Length)-ctmsp.HeaderSize, at)

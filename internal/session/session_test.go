@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/ring"
 	"repro/internal/sim"
 )
 
@@ -134,6 +135,77 @@ func TestSessionShedsLowestClassOnInsertion(t *testing.T) {
 	// Survivors ride out the outage within the bigger prebuffer.
 	if g := res.WorstAdmittedGlitchRate(); g > 3.0 {
 		t.Fatalf("survivors glitched too much: %.2f/min\n%s", g, res.Report())
+	}
+}
+
+// TestSessionStructuredTrace wires a trace into a shedding run and checks
+// the structured stream: admissions and rejections recorded at t=0, purges
+// and sheds after the forced insertion, all without any per-event
+// formatting on the run's hot path.
+func TestSessionStructuredTrace(t *testing.T) {
+	tr := sim.NewTrace(1 << 16)
+	cfg := Config{
+		Name:             "traced",
+		Seed:             1991,
+		Duration:         20 * sim.Second,
+		BackgroundUtil:   0.05,
+		ForceInsertionAt: 8 * sim.Second,
+		PlayoutPrebuffer: 130 * sim.Millisecond,
+		Trace:            tr,
+		Streams:          specN(16),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admits := tr.EventsOfKind(EvAdmit)
+	rejects := tr.EventsOfKind(EvReject)
+	sheds := tr.EventsOfKind(EvShed)
+	if len(admits) != res.Admitted || len(rejects) != res.Rejected || len(sheds) != res.ShedN {
+		t.Fatalf("trace disagrees with results: admits %d/%d rejects %d/%d sheds %d/%d",
+			len(admits), res.Admitted, len(rejects), res.Rejected, len(sheds), res.ShedN)
+	}
+	for _, e := range admits {
+		if e.T != 0 || e.B <= 0 {
+			t.Fatalf("admission event should carry t=0 and reserved bits: %+v", e)
+		}
+	}
+	for _, e := range sheds {
+		if e.T < cfg.ForceInsertionAt {
+			t.Fatalf("shed event before the insertion: %+v", e)
+		}
+	}
+	// The forced insertion's purge burst must appear via the ring's kinds.
+	if purges := tr.EventsOfKind(ring.EvPurge); len(purges) == 0 {
+		t.Fatal("insertion run recorded no ring purges")
+	}
+	if ins := tr.EventsOfKind(ring.EvInsertion); len(ins) != 1 {
+		t.Fatalf("want exactly 1 insertion event, got %d", len(ins))
+	}
+}
+
+// A trace must not perturb the simulation: identical Results with and
+// without one attached (observation is read-only).
+func TestSessionTraceDoesNotPerturb(t *testing.T) {
+	cfg := Config{
+		Name:             "det",
+		Seed:             7,
+		Duration:         10 * sim.Second,
+		BackgroundUtil:   0.05,
+		ForceInsertionAt: 4 * sim.Second,
+		Streams:          specN(12),
+	}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = sim.NewTrace(1 << 16)
+	traced, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Report() != traced.Report() {
+		t.Fatalf("attaching a trace changed the run:\n--- plain\n%s--- traced\n%s", plain.Report(), traced.Report())
 	}
 }
 

@@ -3,6 +3,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"math"
 )
 
 // Event is a scheduled callback. The zero value is not useful; events are
@@ -20,9 +21,18 @@ type Event struct {
 	fn        func()
 	name      string
 	cancelled bool
-	index     int        // position in the heap, -1 once popped
+	home      int32      // wheel bucket index, or homeOverflow / homeNone
+	index     int32      // position within the bucket slice or overflow heap
 	s         *Scheduler // owner, for eager removal and recycling
 }
+
+const (
+	// homeNone marks an event that is not queued: popped, cancelled, or
+	// fresh off the free list.
+	homeNone int32 = -1
+	// homeOverflow marks an event parked in the far-future overflow heap.
+	homeOverflow int32 = -2
+)
 
 // When reports the simulated time at which the event is due to fire.
 func (e *Event) When() Time { return e.at }
@@ -30,17 +40,17 @@ func (e *Event) When() Time { return e.at }
 // Name reports the diagnostic label given when the event was scheduled.
 func (e *Event) Name() string { return e.name }
 
-// Cancel prevents the event from firing and removes it from the queue
+// Cancel prevents the event from firing and removes it from its queue
 // immediately, so long runs that schedule and cancel many timers do not
-// grow the heap. Cancelling an event that has already fired or was
-// already cancelled is a no-op.
+// grow the wheel or the overflow heap. Cancelling an event that has
+// already fired or was already cancelled is a no-op.
 func (e *Event) Cancel() {
-	if e.cancelled || e.index < 0 {
+	if e.cancelled || e.home == homeNone {
 		return
 	}
 	e.cancelled = true
 	if e.s != nil {
-		heap.Remove(&e.s.events, e.index)
+		e.s.remove(e)
 		e.s.recycle(e)
 	}
 }
@@ -48,6 +58,8 @@ func (e *Event) Cancel() {
 // Cancelled reports whether Cancel has been called on the event.
 func (e *Event) Cancelled() bool { return e.cancelled }
 
+// eventHeap is the overflow queue for events beyond the wheel horizon,
+// ordered by (at, seq) exactly as the wheel fires.
 type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
@@ -59,14 +71,15 @@ func (h eventHeap) Less(i, j int) bool {
 }
 func (h eventHeap) Swap(i, j int) {
 	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+	h[i].index = int32(i)
+	h[j].index = int32(j)
 }
 
 //ctmsvet:hotpath
 func (h *eventHeap) Push(x any) {
 	e := x.(*Event)
-	e.index = len(*h)
+	e.home = homeOverflow
+	e.index = int32(len(*h))
 	*h = append(*h, e) //ctmsvet:allow hotpath heap grows to steady-state depth once, then reuses its backing array
 }
 
@@ -76,22 +89,54 @@ func (h *eventHeap) Pop() any {
 	n := len(old)
 	e := old[n-1]
 	old[n-1] = nil
-	e.index = -1
+	e.home = homeNone
 	*h = old[:n-1]
 	return e
 }
 
-// Scheduler is the discrete-event engine. It owns the simulated clock and a
-// priority queue of pending events. Events scheduled for the same instant
-// fire in the order they were scheduled, which keeps runs deterministic.
+// Timing-wheel geometry. The wheel covers the near future in fixed-width
+// ticks: events within wheelSize ticks of the cursor sit in their tick's
+// bucket (O(1) schedule and cancel); everything farther out waits in the
+// overflow heap and cascades into the wheel as the cursor advances. The
+// dominant events — frame slots, playout ticks, kernel housekeeping,
+// repeater arms — are all well inside the horizon.
+const (
+	// tickShift sets the bucket width: 2^17 ns ≈ 131 µs, fine enough that
+	// microsecond-scale bursts spread across buckets (keeping the in-bucket
+	// min scan short) and coarse enough that a 12 ms period spans only ~92
+	// empty-bucket probes.
+	tickShift = 17
+	// wheelBits sets the bucket count: 2^12 = 4096 buckets ≈ 537 ms of
+	// horizon, comfortably past the 250 ms purge-penalty window and the
+	// 400 ms housekeeping interarrivals.
+	wheelBits = 12
+	wheelSize = int64(1) << wheelBits
+	wheelMask = wheelSize - 1
+)
+
+// maxTime is the bound Run uses: dispatch everything.
+const maxTime = Time(math.MaxInt64)
+
+// Scheduler is the discrete-event engine. It owns the simulated clock and
+// a hierarchical timing wheel of pending events (near-future buckets plus
+// a far-future overflow heap). Events scheduled for the same instant fire
+// in the order they were scheduled, which keeps runs deterministic; the
+// (at, seq) order is bit-identical to the binary heap this replaced.
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	free    []*Event // recycled Event objects, reused by At/After
-	stopped bool
-	fired   uint64
-	trace   *Trace
+	now      Time
+	seq      uint64
+	cursor   int64      // wheel tick of the last dispatched event
+	wheel    [][]*Event // wheelSize buckets; tick t lives at wheel[t&wheelMask]
+	inWheel  int        // events currently in wheel buckets
+	overflow eventHeap  // events at or past cursor+wheelSize ticks
+	free     []*Event   // recycled Event objects, reused by At/After
+	stopped  bool
+	fired    uint64
+	trace    *Trace
+
+	// metrics flush watermarks (see total.go)
+	flushedNow   Time
+	flushedFired uint64
 }
 
 // maxFreeEvents caps the free list so a transient burst of timers does not
@@ -111,7 +156,7 @@ func (s *Scheduler) alloc() *Event {
 		e.cancelled = false
 		return e
 	}
-	return &Event{s: s} //ctmsvet:allow hotpath cold refill path, runs only until the free list reaches steady state
+	return &Event{s: s, home: homeNone} //ctmsvet:allow hotpath cold refill path, runs only until the free list reaches steady state
 }
 
 // recycle returns a popped or cancelled event to the free list, dropping
@@ -121,15 +166,21 @@ func (s *Scheduler) alloc() *Event {
 func (s *Scheduler) recycle(e *Event) {
 	e.fn = nil
 	e.name = ""
+	e.home = homeNone
 	if len(s.free) < maxFreeEvents {
 		s.free = append(s.free, e) //ctmsvet:allow hotpath free list capacity is preallocated at maxFreeEvents and the len guard keeps it there
 	}
 }
 
-// NewScheduler returns a scheduler with the clock at zero. The event
-// free list is preallocated to its cap so recycle never grows it.
+// NewScheduler returns a scheduler with the clock at zero. The event free
+// list is preallocated to its cap so recycle never grows it, and the
+// wheel's bucket table is allocated up front (bucket slices themselves
+// grow to steady-state occupancy on first use).
 func NewScheduler() *Scheduler {
-	return &Scheduler{free: make([]*Event, 0, maxFreeEvents)}
+	return &Scheduler{
+		wheel: make([][]*Event, wheelSize),
+		free:  make([]*Event, 0, maxFreeEvents),
+	}
 }
 
 // Now reports the current simulated time.
@@ -142,6 +193,95 @@ func (s *Scheduler) Fired() uint64 { return s.fired }
 // SetTrace attaches a trace log that records each dispatched event.
 // A nil trace disables tracing.
 func (s *Scheduler) SetTrace(t *Trace) { s.trace = t }
+
+// Trace reports the attached trace log, or nil. Model components reach
+// their run's trace through this — sim.Trace methods are nil-receiver
+// safe, so call sites need no guard.
+func (s *Scheduler) Trace() *Trace { return s.trace }
+
+// enqueue places a scheduled event into its tick's wheel bucket, or into
+// the overflow heap when the tick is past the wheel horizon. The caller
+// guarantees e.at >= s.now, and the cursor never passes the clock's tick,
+// so the event's tick is always at or ahead of the cursor.
+//
+//ctmsvet:hotpath
+func (s *Scheduler) enqueue(e *Event) {
+	tk := int64(e.at) >> tickShift
+	if tk < s.cursor {
+		Checkf(false, "event %q at %v maps to tick %d behind the wheel cursor %d", e.name, e.at, tk, s.cursor)
+	}
+	if tk >= s.cursor+wheelSize {
+		heap.Push(&s.overflow, e)
+		return
+	}
+	s.bucketPut(e, int(tk&wheelMask))
+}
+
+// bucketPut appends an event to a wheel bucket.
+//
+//ctmsvet:hotpath
+func (s *Scheduler) bucketPut(e *Event, b int) {
+	bs := s.wheel[b]
+	e.home = int32(b)
+	e.index = int32(len(bs))
+	s.wheel[b] = append(bs, e) //ctmsvet:allow hotpath bucket slices grow to steady-state occupancy once, then reuse their backing arrays
+	s.inWheel++
+}
+
+// remove takes a pending event out of whichever queue holds it: O(1)
+// swap-delete from its wheel bucket, or heap removal from the overflow.
+//
+//ctmsvet:hotpath
+func (s *Scheduler) remove(e *Event) {
+	if e.home == homeOverflow {
+		heap.Remove(&s.overflow, int(e.index))
+		return
+	}
+	bs := s.wheel[e.home]
+	last := len(bs) - 1
+	i := int(e.index)
+	bs[i] = bs[last]
+	bs[i].index = int32(i)
+	bs[last] = nil
+	s.wheel[e.home] = bs[:last]
+	e.home = homeNone
+	s.inWheel--
+}
+
+// advanceTo commits the cursor to tick and cascades: overflow events whose
+// ticks fall inside the new horizon move into their wheel buckets. Each
+// overflow event cascades at most once, so the cost is amortized O(log n)
+// per far-future event, paid only when its horizon opens.
+//
+//ctmsvet:hotpath
+func (s *Scheduler) advanceTo(tick int64) {
+	if tick > s.cursor {
+		s.cursor = tick
+	}
+	for len(s.overflow) > 0 && int64(s.overflow[0].at)>>tickShift < s.cursor+wheelSize {
+		e := heap.Pop(&s.overflow).(*Event)
+		s.bucketPut(e, int((int64(e.at)>>tickShift)&wheelMask))
+	}
+}
+
+// firstBucket scans forward from the cursor for the first occupied bucket
+// and reports it with its tick. Within the wheel's horizon every tick maps
+// to a distinct bucket, so scanning bucket indices in cursor order visits
+// ticks in increasing order; the scan is read-only (the cursor commits
+// only when an event actually fires, so an aborted bounded step leaves no
+// trace). The caller guarantees the wheel is non-empty.
+//
+//ctmsvet:hotpath
+func (s *Scheduler) firstBucket() ([]*Event, int64) {
+	for k := int64(0); k < wheelSize; k++ {
+		tick := s.cursor + k
+		if bs := s.wheel[tick&wheelMask]; len(bs) > 0 {
+			return bs, tick
+		}
+	}
+	Checkf(false, "wheel accounting broken: inWheel > 0 but no bucket is occupied")
+	return nil, 0
+}
 
 // At schedules fn to run at absolute simulated time t. Scheduling in the
 // past is an invariant violation: the model must never depend on
@@ -161,7 +301,7 @@ func (s *Scheduler) At(t Time, name string, fn func()) *Event {
 	e := s.alloc()
 	e.at, e.seq, e.fn, e.name = t, s.seq, fn, name
 	s.seq++
-	heap.Push(&s.events, e)
+	s.enqueue(e)
 	return e
 }
 
@@ -222,21 +362,45 @@ func (r *Repeater) Stop() {
 // Stop halts the run loop after the currently dispatching event returns.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// Pending reports the number of live (non-cancelled) events in the queue.
-// Cancelled events are removed from the heap eagerly, so this is just the
-// heap's length — O(1), safe to poll from hot paths.
-func (s *Scheduler) Pending() int { return len(s.events) }
+// Pending reports the number of live (non-cancelled) events queued.
+// Cancelled events leave their bucket or the overflow heap eagerly, so
+// this is just two counters — O(1), safe to poll from hot paths.
+func (s *Scheduler) Pending() int { return s.inWheel + len(s.overflow) }
 
-// step dispatches the earliest pending event. It reports false when the
-// queue is empty. The heap never holds cancelled events (Cancel removes
-// them eagerly), so the head is always live.
+// step dispatches the earliest pending event if it is due at or before
+// bound. It reports false when the queue is empty or the next event lies
+// beyond the bound. Neither queue ever holds cancelled events (Cancel
+// removes them eagerly), so whatever the scan finds is live.
+//
+// Order: wheel events occupy ticks in [cursor, cursor+wheelSize) and
+// overflow events sit at or past cursor+wheelSize, so when the wheel is
+// non-empty its earliest bucket strictly precedes every overflow event;
+// within a bucket the linear min-scan picks the lowest (at, seq) — the
+// exact order the binary heap produced.
 //
 //ctmsvet:hotpath
-func (s *Scheduler) step() bool {
-	if len(s.events) == 0 {
-		return false
+func (s *Scheduler) step(bound Time) bool {
+	var e *Event
+	if s.inWheel > 0 {
+		bs, tick := s.firstBucket()
+		e = bs[0]
+		for _, c := range bs[1:] {
+			if c.at < e.at || (c.at == e.at && c.seq < e.seq) {
+				e = c
+			}
+		}
+		if e.at > bound {
+			return false
+		}
+		s.remove(e)
+		s.advanceTo(tick)
+	} else {
+		if len(s.overflow) == 0 || s.overflow[0].at > bound {
+			return false
+		}
+		e = heap.Pop(&s.overflow).(*Event)
+		s.advanceTo(int64(e.at) >> tickShift)
 	}
-	e := heap.Pop(&s.events).(*Event)
 	if e.at < s.now {
 		Checkf(false, "time went backwards: event %q at %v, now %v", e.name, e.at, s.now)
 	}
@@ -254,8 +418,9 @@ func (s *Scheduler) step() bool {
 // Run dispatches events until the queue drains or Stop is called.
 func (s *Scheduler) Run() {
 	s.stopped = false
-	for !s.stopped && s.step() {
+	for !s.stopped && s.step(maxTime) {
 	}
+	s.flushMetrics()
 }
 
 // RunUntil dispatches events with timestamps up to and including t, then
@@ -263,16 +428,15 @@ func (s *Scheduler) Run() {
 func (s *Scheduler) RunUntil(t Time) {
 	Checkf(t >= s.now, "RunUntil(%v) is before now %v", t, s.now)
 	s.stopped = false
-	// Peek without popping; the head is always a live event.
-	for !s.stopped && len(s.events) > 0 && s.events[0].at <= t {
-		s.step()
+	for !s.stopped && s.step(t) {
 	}
 	if s.now < t {
 		s.now = t
 	}
+	s.flushMetrics()
 }
 
 // String summarizes the scheduler state for debugging.
 func (s *Scheduler) String() string {
-	return fmt.Sprintf("sim.Scheduler{now: %v, pending: %d, fired: %d}", s.now, len(s.events), s.fired)
+	return fmt.Sprintf("sim.Scheduler{now: %v, pending: %d, fired: %d}", s.now, s.Pending(), s.fired)
 }

@@ -203,11 +203,15 @@ func TestSchedulerCancelRemovesEagerly(t *testing.T) {
 	if got := s.Pending(); got != 50 {
 		t.Fatalf("want 50 pending after eager removal, got %d", got)
 	}
-	if got := len(s.events); got != 50 {
-		t.Fatalf("heap still holds %d entries, want 50", got)
+	queued := len(s.overflow)
+	for _, bs := range s.wheel {
+		queued += len(bs)
+	}
+	if queued != 50 {
+		t.Fatalf("queues still hold %d entries, want 50", queued)
 	}
 	fired := 0
-	for s.step() {
+	for s.step(maxTime) {
 		fired++
 	}
 	if fired != 50 {

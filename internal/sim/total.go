@@ -1,0 +1,45 @@
+package sim
+
+import "sync/atomic"
+
+// Process-wide accounting of simulated work, aggregated across every
+// scheduler in the process — the main experiment runs, the session
+// layer's per-run schedulers, and any mini-sims tests spin up. ctmsbench
+// reads these to report how much simulated time a wall-clock second buys.
+//
+// Each scheduler flushes deltas (not absolutes) when a Run/RunUntil call
+// returns, so a scheduler driven by repeated RunUntil calls — the session
+// layer's pattern — is counted exactly once per simulated nanosecond.
+var (
+	totalSimulated atomic.Int64
+	totalFired     atomic.Uint64
+)
+
+// TotalSimulated reports the simulated time advanced by all schedulers in
+// this process since start (or since the last ResetTotals).
+func TotalSimulated() Time { return Time(totalSimulated.Load()) }
+
+// TotalFired reports the events dispatched by all schedulers in this
+// process since start (or since the last ResetTotals).
+func TotalFired() uint64 { return totalFired.Load() }
+
+// ResetTotals zeroes the process-wide counters. Benchmarks call this
+// between measurement windows.
+func ResetTotals() {
+	totalSimulated.Store(0)
+	totalFired.Store(0)
+}
+
+// flushMetrics publishes this scheduler's progress since the last flush
+// into the process-wide totals. Called from the Run/RunUntil epilogue —
+// never per event, so the atomics stay off the hot loop.
+func (s *Scheduler) flushMetrics() {
+	if d := s.now - s.flushedNow; d > 0 {
+		totalSimulated.Add(int64(d))
+		s.flushedNow = s.now
+	}
+	if d := s.fired - s.flushedFired; d > 0 {
+		totalFired.Add(d)
+		s.flushedFired = s.fired
+	}
+}

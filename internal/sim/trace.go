@@ -2,27 +2,89 @@ package sim
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 )
 
-// TraceEntry is one recorded simulation event.
+// TraceEntry is one recorded simulation event in its legacy string form.
 type TraceEntry struct {
 	T    Time
 	What string
 }
 
+// EventKind identifies a structured trace event type. Kinds are small
+// integers registered once at init time with RegisterEventKind; the
+// registry maps them back to names only when a trace is rendered, so the
+// recording path never touches a string.
+type EventKind uint8
+
+// eventKindNames is the sparse kind registry. Index 0 is reserved so a
+// zero-valued EventEntry is visibly unregistered.
+var eventKindNames [256]string
+
+// RegisterEventKind names a kind for rendering. Call from package init;
+// registering two different names for one kind is an invariant violation
+// (kinds are assigned in disjoint per-package blocks).
+func RegisterEventKind(k EventKind, name string) {
+	Checkf(k != 0, "event kind 0 is reserved")
+	Checkf(name != "", "event kind %d registered with empty name", k)
+	Checkf(eventKindNames[k] == "" || eventKindNames[k] == name,
+		"event kind %d registered twice: %q and %q", k, eventKindNames[k], name)
+	eventKindNames[k] = name
+}
+
+// String reports the registered name, or a numeric placeholder for
+// unregistered kinds.
+func (k EventKind) String() string {
+	if n := eventKindNames[k]; n != "" {
+		return n
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// EventEntry is one structured trace record: a kind plus two opaque
+// operands whose meaning the kind defines (sequence numbers, byte counts,
+// stream indices). It is four machine words with no pointers — recording
+// one is a couple of stores into a preallocated ring, nothing for the
+// garbage collector to trace.
+type EventEntry struct {
+	T    Time
+	Kind EventKind
+	A, B int64
+}
+
+// String renders the entry; formatting cost is paid here, at read time,
+// never when the event was recorded.
+func (e EventEntry) String() string {
+	return fmt.Sprintf("%v a=%d b=%d", e.Kind, e.A, e.B)
+}
+
 // Trace is a bounded in-memory log of simulation events, useful for
-// debugging model behaviour in tests. When the bound is exceeded the oldest
-// entries are discarded, mirroring the fixed-size capture buffers of the
-// measurement hardware the paper used.
+// debugging model behaviour in tests. It records two streams: legacy
+// string entries (Add/Addf) and structured entries (AddEvent) kept in a
+// preallocated ring. When either bound is exceeded the oldest entries are
+// discarded, mirroring the fixed-size capture buffers of the measurement
+// hardware the paper used.
+//
+// All recording methods are safe on a nil *Trace and do nothing, so call
+// sites instrument unconditionally — sched.Trace().AddEvent(...) — and a
+// run with no trace attached pays only the nil test.
 type Trace struct {
 	entries []TraceEntry
 	max     int
 	dropped uint64
+
+	// Structured ring: events[ehead] is the oldest of elen live entries,
+	// wrapping at len(events). The backing array is allocated once, on
+	// the first AddEvent, sized to max.
+	events   []EventEntry
+	ehead    int
+	elen     int
+	edropped uint64
 }
 
-// NewTrace returns a trace that keeps at most max entries (0 means a
-// default of 65536).
+// NewTrace returns a trace that keeps at most max entries of each stream
+// (0 means a default of 65536).
 func NewTrace(max int) *Trace {
 	if max <= 0 {
 		max = 65536
@@ -30,8 +92,12 @@ func NewTrace(max int) *Trace {
 	return &Trace{max: max}
 }
 
-// Add appends an entry, evicting the oldest if the trace is full.
+// Add appends a string entry, evicting the oldest if the trace is full.
+// No-op on a nil trace.
 func (t *Trace) Add(at Time, what string) {
+	if t == nil {
+		return
+	}
 	if len(t.entries) >= t.max {
 		// Drop the oldest half in one go to keep Add amortized O(1).
 		half := len(t.entries) / 2
@@ -41,22 +107,116 @@ func (t *Trace) Add(at Time, what string) {
 	t.entries = append(t.entries, TraceEntry{T: at, What: what})
 }
 
-// Addf formats and appends an entry.
+// Addf formats and appends a string entry. The nil check comes before the
+// Sprintf, so call sites that format rich diagnostics cost nothing when no
+// trace is attached; prefer AddEvent on hot paths, where even an attached
+// trace must not format.
 func (t *Trace) Addf(at Time, format string, args ...any) {
+	if t == nil {
+		return
+	}
 	t.Add(at, fmt.Sprintf(format, args...))
 }
 
-// Len reports the number of retained entries.
-func (t *Trace) Len() int { return len(t.entries) }
+// AddEvent records a structured entry: three integer stores into a
+// preallocated ring. No-op on a nil trace. This is the form hot paths use
+// — no formatting, no allocation, nothing retained that the collector
+// must scan.
+//
+//ctmsvet:hotpath
+func (t *Trace) AddEvent(at Time, kind EventKind, a, b int64) {
+	if t == nil {
+		return
+	}
+	if t.events == nil {
+		t.events = make([]EventEntry, t.max) //ctmsvet:allow hotpath one-time lazy allocation of the ring backing array, amortized over the run
+	}
+	i := t.ehead + t.elen
+	if i >= len(t.events) {
+		i -= len(t.events)
+	}
+	t.events[i] = EventEntry{T: at, Kind: kind, A: a, B: b}
+	if t.elen < len(t.events) {
+		t.elen++
+		return
+	}
+	// Ring full: the slot we just wrote was the oldest entry.
+	t.ehead++
+	if t.ehead == len(t.events) {
+		t.ehead = 0
+	}
+	t.edropped++
+}
 
-// Dropped reports how many entries were evicted.
-func (t *Trace) Dropped() uint64 { return t.dropped }
+// Len reports the number of retained string entries.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.entries)
+}
 
-// Entries returns the retained entries in order.
-func (t *Trace) Entries() []TraceEntry { return t.entries }
+// Dropped reports how many string entries were evicted.
+func (t *Trace) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
 
-// Matching returns the entries whose label contains substr.
+// Entries returns the retained string entries in order.
+func (t *Trace) Entries() []TraceEntry {
+	if t == nil {
+		return nil
+	}
+	return t.entries
+}
+
+// EventLen reports the number of retained structured entries.
+func (t *Trace) EventLen() int {
+	if t == nil {
+		return 0
+	}
+	return t.elen
+}
+
+// EventsDropped reports how many structured entries were overwritten.
+func (t *Trace) EventsDropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.edropped
+}
+
+// Events returns the retained structured entries oldest-first. The slice
+// is a fresh copy; the ring keeps recording.
+func (t *Trace) Events() []EventEntry {
+	if t == nil || t.elen == 0 {
+		return nil
+	}
+	out := make([]EventEntry, t.elen)
+	n := copy(out, t.events[t.ehead:min(t.ehead+t.elen, len(t.events))])
+	copy(out[n:], t.events[:t.elen-n])
+	return out
+}
+
+// EventsOfKind returns the retained structured entries of one kind,
+// oldest-first.
+func (t *Trace) EventsOfKind(k EventKind) []EventEntry {
+	var out []EventEntry
+	for _, e := range t.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Matching returns the string entries whose label contains substr.
 func (t *Trace) Matching(substr string) []TraceEntry {
+	if t == nil {
+		return nil
+	}
 	var out []TraceEntry
 	for _, e := range t.entries {
 		if strings.Contains(e.What, substr) {
@@ -66,11 +226,34 @@ func (t *Trace) Matching(substr string) []TraceEntry {
 	return out
 }
 
-// String renders the trace, one entry per line.
+// String renders the trace, one entry per line, both streams merged in
+// time order (ties: string entries first, then structured). This is where
+// structured entries finally pay their formatting cost.
 func (t *Trace) String() string {
-	var b strings.Builder
+	if t == nil {
+		return ""
+	}
+	type line struct {
+		at   Time
+		tie  int
+		text string
+	}
+	lines := make([]line, 0, len(t.entries)+t.elen)
 	for _, e := range t.entries {
-		fmt.Fprintf(&b, "%12v  %s\n", e.T, e.What)
+		lines = append(lines, line{at: e.T, tie: 0, text: e.What})
+	}
+	for _, e := range t.Events() {
+		lines = append(lines, line{at: e.T, tie: 1, text: e.String()})
+	}
+	sort.SliceStable(lines, func(i, j int) bool {
+		if lines[i].at != lines[j].at {
+			return lines[i].at < lines[j].at
+		}
+		return lines[i].tie < lines[j].tie
+	})
+	var b strings.Builder
+	for _, l := range lines {
+		fmt.Fprintf(&b, "%12v  %s\n", l.at, l.text)
 	}
 	return b.String()
 }

@@ -516,6 +516,7 @@ func (d *Driver) haveRxBuffer() bool {
 		return true
 	}
 	d.stats.RxNoBuffer++
+	d.k.Sched().Trace().AddEvent(d.k.Sched().Now(), EvRxDrop, int64(d.rxPending), int64(free))
 	return false
 }
 
@@ -545,6 +546,7 @@ func (d *Driver) frameArrived(f *ring.Frame, _ sim.Time) {
 			// Race: buffers filled since the copy gate passed.
 			d.rxPending--
 			d.stats.RxNoBuffer++
+			d.k.Sched().Trace().AddEvent(d.k.Sched().Now(), EvRxDrop, int64(d.rxPending), int64(size))
 			return
 		}
 		buf.Fill(size, f)

@@ -1,0 +1,12 @@
+package tradapter
+
+import "repro/internal/sim"
+
+// EvRxDrop is the structured trace kind for a frame lost to rx DMA buffer
+// exhaustion — at the copy gate (A = frames between wire and buffer claim,
+// B = free buffers) or in the card-latency race (A = frames still pending,
+// B = the dropped frame's payload size). Kind block 48–63 belongs to
+// tradapter.
+const EvRxDrop sim.EventKind = 48
+
+func init() { sim.RegisterEventKind(EvRxDrop, "tradapter.rx-drop") }
