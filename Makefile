@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint lint-fast build test race bench bench-check bench-baseline api-check api-golden clean
+.PHONY: ci vet lint lint-fast build test race race-shards bench bench-check bench-baseline api-check api-golden clean
 
-ci: vet lint build race bench bench-check api-check
+ci: vet lint build race race-shards bench bench-check api-check
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +34,14 @@ test:
 race:
 	$(GO) test -race ./...
 
+# The sharded engine's dedicated race gate: E18 serial-vs-4-shard
+# bit-identity under the race detector. `make race` already covers it
+# via ./..., but this target keeps the smoke runnable (and named) on
+# its own so a future test filter can't silently drop it from ci.
+race-shards:
+	$(GO) test -race -run 'TestE18ShardedSmoke|TestShardSerialEquivalence' \
+		./internal/core ./internal/topo
+
 # A one-iteration benchmark smoke: catches benchmarks that no longer
 # compile or panic, without paying for stable numbers.
 bench:
@@ -48,10 +56,12 @@ bench:
 # Refresh the baseline with: make bench-baseline (on a quiet machine).
 bench-check:
 	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
+		-shards 1,2,4,8 \
 		-benchout /tmp/ctmsbench-check.json -compare BENCH.baseline.json
 
 bench-baseline:
 	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
+		-shards 1,2,4,8 \
 		-benchout BENCH.baseline.json
 
 # The public API surface (go doc -all of the root package) is pinned in

@@ -1,5 +1,5 @@
 // Command ctmsbench regenerates every table and figure of the paper's
-// evaluation: it runs the reproduction matrix (experiments E1–E17 of
+// evaluation: it runs the reproduction matrix (experiments E1–E18 of
 // DESIGN.md) and prints paper-vs-measured comparisons plus ASCII versions
 // of Figures 5-2, 5-3 and 5-4.
 //
@@ -19,11 +19,22 @@
 //	ctmsbench -parallel 8      # worker count (default GOMAXPROCS)
 //	ctmsbench -benchout x.json # where to write the perf record ("" = off)
 //	ctmsbench -scenario f.json # run custom Options scenario(s) from a file
+//	ctmsbench -shards 1,2,4,8  # E18 backbone shard-scaling benchmark
+//	ctmsbench -cpuprofile c.pb # write a CPU profile of the whole run
+//	ctmsbench -memprofile m.pb # write a heap profile at exit
 //
 // A scenario file holds one JSON-encoded ctms.Options object or an array
 // of them (the format testdata/options.golden.json pins; durations accept
 // "12ms"-style strings or nanosecond counts). Scenario mode runs each one
 // and prints its report instead of the experiment matrix.
+//
+// The -shards benchmark runs the E18 eight-ring backbone once per
+// requested worker count (the first count is the reference, normally 1)
+// and records wall time, simsec/s, speedup and whether the fingerprint
+// stayed bit-identical to the reference in BENCH.json's shard_scaling
+// rows. Real speedup needs as many free cores as shard workers; on a
+// smaller host the rows still gate correctness (identical=true) while
+// the speedup column honestly reports the time-sharing loss.
 package main
 
 import (
@@ -32,6 +43,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,6 +52,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lab"
 	"repro/internal/sim"
+	"repro/internal/topo"
 )
 
 // timedResult pairs one experiment's outcome with its host wall time and,
@@ -103,6 +117,20 @@ type benchRecord struct {
 	Events       uint64            `json:"events"`
 	Failures     int               `json:"failures"`
 	Experiments  []benchExperiment `json:"experiments"`
+	ShardScaling []shardScaling    `json:"shard_scaling,omitempty"`
+}
+
+// shardScaling is one row of the E18 backbone scaling benchmark: the same
+// internetwork at one worker count. Identical reports whether the run's
+// fingerprint matched the reference (first) row — the engine's whole
+// claim — and Speedup is reference wall time over this row's wall time.
+type shardScaling struct {
+	Shards       int     `json:"shards"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	SimSeconds   float64 `json:"sim_seconds"`
+	SimSecPerSec float64 `json:"sim_seconds_per_second"`
+	Speedup      float64 `json:"speedup"`
+	Identical    bool    `json:"identical"`
 }
 
 // The per-experiment allocation/simulated-work columns are measured only
@@ -123,8 +151,14 @@ type benchExperiment struct {
 }
 
 func main() {
+	os.Exit(realMain())
+}
+
+// realMain is main with an exit code instead of os.Exit, so the profile
+// writers' defers always run.
+func realMain() int {
 	var (
-		experiment = flag.String("experiment", "", "run a single experiment (E1..E17)")
+		experiment = flag.String("experiment", "", "run a single experiment (E1..E18)")
 		scenario   = flag.String("scenario", "", "run ctms.Options scenario(s) from a JSON file")
 		full       = flag.Bool("full", false, "run the paper's full 117-minute durations")
 		minutes    = flag.Float64("minutes", 4, "scenario duration in minutes (ignored with -full)")
@@ -135,15 +169,46 @@ func main() {
 		compare    = flag.String("compare", "", "compare this run against a baseline BENCH.json; exit nonzero on regression")
 		mallocTol  = flag.Float64("malloc-tolerance", 0.10, "with -compare: allowed fractional mallocs growth over the baseline")
 		speedTol   = flag.Float64("speed-tolerance", 0.50, "with -compare: allowed fractional sim_seconds_per_second loss vs the baseline")
+		shards     = flag.String("shards", "", "comma-separated worker counts for the E18 shard-scaling benchmark (e.g. 1,2,4,8; empty disables)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+			}
+		}()
+	}
 
 	if *scenario != "" {
 		if err := runScenarios(*scenario, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
-		return
+		return 0
 	}
 
 	scale := core.Scale{Seed: *seed}
@@ -158,7 +223,7 @@ func main() {
 		e, ok := core.ExperimentByID(strings.ToUpper(*experiment))
 		if !ok {
 			fmt.Fprintf(os.Stderr, "ctmsbench: unknown experiment %q\n", *experiment)
-			os.Exit(2)
+			return 2
 		}
 		exps = []core.Experiment{e}
 	}
@@ -233,24 +298,104 @@ func main() {
 			wall.Round(time.Millisecond), rec.SimSeconds, rec.SimSecPerSec, *parallel)
 	}
 
+	// The shard-scaling benchmark runs after the matrix so the record's
+	// top-level counters (and the -compare gate built on them) keep
+	// measuring exactly what they always measured.
+	if *shards != "" {
+		rows, err := runShardScaling(*shards, scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+			return 1
+		}
+		rec.ShardScaling = rows
+		for _, row := range rows {
+			fmt.Printf("--- shards %d: wall %.2fs  %.0f simsec/s  speedup %.2fx  identical=%t\n",
+				row.Shards, row.WallSeconds, row.SimSecPerSec, row.Speedup, row.Identical)
+		}
+	}
+
 	if *benchout != "" {
 		if err := writeBench(*benchout, rec); err != nil {
 			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "ctmsbench: %d experiment(s) deviated from the paper's shape\n", failures)
-		os.Exit(1)
+		return 1
+	}
+	for _, row := range rec.ShardScaling {
+		if !row.Identical {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %d-shard run diverged from the reference fingerprint\n", row.Shards)
+			return 1
+		}
 	}
 	if *compare != "" {
 		if err := compareBench(*compare, rec, *mallocTol, *speedTol); err != nil {
 			fmt.Fprintf(os.Stderr, "ctmsbench: regression vs %s:\n%v\n", *compare, err)
-			os.Exit(3)
+			return 3
 		}
 		fmt.Printf("--- no regression vs %s (mallocs within +%.0f%%, simsec/s within -%.0f%%)\n",
 			*compare, 100**mallocTol, 100**speedTol)
 	}
+	return 0
+}
+
+// runShardScaling runs the E18 backbone once per requested worker count.
+// The first count is the reference (normally 1, the serial oracle): its
+// fingerprint is what every other row must reproduce and its wall time is
+// the speedup denominator. The simulated duration is the matrix scale
+// capped at 10 s so the benchmark stays a minute-scale addendum.
+func runShardScaling(list string, scale core.Scale, seed int64) ([]shardScaling, error) {
+	var counts []int
+	for _, part := range strings.Split(list, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w < 1 || w > 64 {
+			return nil, fmt.Errorf("-shards: bad worker count %q", part)
+		}
+		counts = append(counts, w)
+	}
+	dur := 10 * sim.Second
+	if scale.Duration > 0 && scale.Duration < dur {
+		dur = scale.Duration
+	}
+	base := seed
+	if base == 0 {
+		base = 1991
+	}
+	spec := core.E18Topology(8, core.SweepSeed(base, 18), dur)
+
+	var rows []shardScaling
+	var refFingerprint string
+	var refWall float64
+	for i, w := range counts {
+		n, err := topo.Build(spec)
+		if err != nil {
+			return nil, err
+		}
+		simBefore := sim.TotalSimulated()
+		start := time.Now()
+		res := n.Run(w)
+		wallSec := time.Since(start).Seconds()
+		simSec := (sim.TotalSimulated() - simBefore).Seconds()
+		fp := res.Fingerprint()
+		if i == 0 {
+			refFingerprint = fp
+			refWall = wallSec
+		}
+		row := shardScaling{
+			Shards:      w,
+			WallSeconds: wallSec,
+			SimSeconds:  simSec,
+			Identical:   fp == refFingerprint,
+		}
+		if wallSec > 0 {
+			row.SimSecPerSec = simSec / wallSec
+			row.Speedup = refWall / wallSec
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // compareBench checks the just-produced record against a baseline
@@ -284,6 +429,28 @@ func compareBench(path string, rec benchRecord, mallocTol, speedTol float64) err
 	if floor := base.SimSecPerSec * (1 - speedTol); base.SimSecPerSec > 0 && rec.SimSecPerSec < floor {
 		problems = append(problems, fmt.Sprintf("sim_seconds_per_second %.1f fell below baseline %.1f by more than %.0f%% (floor %.1f)",
 			rec.SimSecPerSec, base.SimSecPerSec, 100*speedTol, floor))
+	}
+	// Shard-scaling rows are compared only when both records carry them,
+	// so a baseline regenerated without -shards (or one predating the
+	// sharded engine) never trips the gate. Where a shard count exists on
+	// both sides the run must stay bit-identical and hold the same speed
+	// floor the matrix holds; the speedup column is informational (it
+	// measures the host's free cores, not the code).
+	for _, row := range rec.ShardScaling {
+		for _, b := range base.ShardScaling {
+			if b.Shards != row.Shards {
+				continue
+			}
+			if !row.Identical {
+				problems = append(problems, fmt.Sprintf(
+					"%d-shard run no longer bit-identical to the serial oracle", row.Shards))
+			}
+			if floor := b.SimSecPerSec * (1 - speedTol); b.SimSecPerSec > 0 && row.SimSecPerSec < floor {
+				problems = append(problems, fmt.Sprintf(
+					"%d-shard sim_seconds_per_second %.1f fell below baseline %.1f (floor %.1f)",
+					row.Shards, row.SimSecPerSec, b.SimSecPerSec, floor))
+			}
+		}
 	}
 	if len(problems) > 0 {
 		return fmt.Errorf("  %s", strings.Join(problems, "\n  "))

@@ -20,6 +20,8 @@ var SimCriticalPackages = []string{
 	"internal/playout",
 	"internal/ctmsp",
 	"internal/lab",
+	"internal/router",
+	"internal/topo",
 }
 
 // All lists every syntactic-tier analyzer, for scope policy and

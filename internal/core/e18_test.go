@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// TestE18ShardedSmoke is the CI gate for the sharded engine: E18 at a
+// reduced scale must pass every metric — including the serial-vs-4-shard
+// bit-identity check — and `make ci` runs this under the race detector,
+// giving the barrier and inbox code real interleavings to defend.
+func TestE18ShardedSmoke(t *testing.T) {
+	cmp := runE18(Scale{Duration: 3 * sim.Second})
+	if !cmp.AllOK() {
+		t.Fatalf("E18 deviated:\n%s", cmp.Render())
+	}
+}
+
+// TestE18TopologyShape pins the parameterized builder: a K-ring line has
+// K−1 links, and the stream mix covers local, adjacent, two-hop and
+// transit-overload shapes.
+func TestE18TopologyShape(t *testing.T) {
+	spec := E18Topology(6, 1, sim.Second)
+	if spec.Rings != 6 || len(spec.Links) != 5 {
+		t.Fatalf("6-ring line has %d rings, %d links", spec.Rings, len(spec.Links))
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var local, cross int
+	for _, s := range spec.Streams {
+		if s.SrcRing == s.DstRing {
+			local++
+		} else {
+			cross++
+		}
+	}
+	if local != 6 || cross == 0 {
+		t.Fatalf("stream mix local=%d cross=%d", local, cross)
+	}
+	if _, err := topo.Build(spec); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,14 @@ import (
 	"repro/internal/tradapter"
 )
 
+// DefaultSwitchCost is the per-frame CPU cost of the forwarding decision
+// and descriptor shuffling on the router's RT/PC. It is also the floor on
+// how quickly a frame can influence another ring, which is exactly the
+// lookahead a conservative parallel simulation of an internetwork needs
+// (DESIGN.md §9): no cross-ring effect can propagate in less than the
+// switch time, so a shard may safely run that far ahead of its neighbors.
+const DefaultSwitchCost = 180 * sim.Microsecond
+
 // Port is one of the router's ring attachments.
 type Port struct {
 	Ring   *ring.Ring
@@ -59,7 +67,7 @@ func New(sched *sim.Scheduler, name string, r0, r1 *ring.Ring, seed int64) *Rout
 	k := kernel.New(m)
 	rt := &Router{
 		k:          k,
-		SwitchCost: 180 * sim.Microsecond,
+		SwitchCost: DefaultSwitchCost,
 	}
 	rt.routes[0] = make(map[ring.Addr]int)
 	rt.routes[1] = make(map[ring.Addr]int)

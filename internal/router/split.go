@@ -1,0 +1,187 @@
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/kernel"
+	"repro/internal/ring"
+	"repro/internal/rtpc"
+	"repro/internal/sim"
+	"repro/internal/tradapter"
+)
+
+// Half is one port of a split router: the same RT/PC forwarding engine as
+// Router, but owning a single ring attachment so the two ends of a bridge
+// can live on different sim.Schedulers. A sharded topology (internal/topo)
+// gives each ring its own shard; the bridge between two rings is then a
+// pair of Halves whose only coupling is the Forward callback — frames
+// leave one shard as plain values and re-enter the other via Inject after
+// the link's store-and-forward latency, which is what makes the
+// conservative lookahead window real rather than assumed.
+//
+// A Half's ingress does the same work Router.ingress does: the switch
+// decision, one CPU copy out of the fixed DMA buffer, then hand-off. The
+// egress side (Inject) allocates an mbuf chain on the destination shard's
+// kernel and queues the frame on its adapter, re-addressed to either the
+// final station or the next bridge along the path.
+type Half struct {
+	k       *kernel.Kernel
+	rg      *ring.Ring
+	drv     *tradapter.Driver
+	ringIdx int
+	// nextHop[r] is the station address on THIS ring of the bridge half
+	// that continues toward internetwork ring r; 0 means no route.
+	nextHop []ring.Addr
+	stats   HalfStats
+
+	// SwitchCost is the per-frame CPU cost of the forwarding decision.
+	SwitchCost sim.Time
+	// Forward receives each frame this half decided to forward, after the
+	// switch and copy segments complete. The shard engine wires it to the
+	// cross-shard link; it must not touch this shard's state afterwards.
+	Forward func(Forwarded)
+}
+
+// Forwarded is a frame in flight between two halves of a split bridge:
+// plain values only, so it can cross a shard boundary without sharing
+// memory with the shard that produced it.
+type Forwarded struct {
+	// DstRing is the 0-based internetwork index of the final ring.
+	DstRing int
+	// Dst is the final station address in DstRing's address space.
+	Dst     ring.Addr
+	Size    int
+	Class   tradapter.Class
+	Tag     any
+	Capture []byte
+}
+
+// HalfStats aggregates one half's forwarding accounting.
+type HalfStats struct {
+	Forwarded uint64 // frames this half accepted from its ring and passed on
+	Bytes     uint64
+	Injected  uint64 // frames this half re-transmitted onto its ring
+	Dropped   uint64 // unroutable ingress or mbuf exhaustion on egress
+	QueueMax  int
+}
+
+// NewHalf builds one port of a split bridge on its own machine attached
+// to rg, which is internetwork ring ringIdx of rings total.
+func NewHalf(sched *sim.Scheduler, name string, rg *ring.Ring, ringIdx, rings int, seed int64) *Half {
+	sim.Checkf(ringIdx >= 0 && ringIdx < rings, "half %s: ring index %d out of %d rings", name, ringIdx, rings)
+	m := rtpc.NewMachine(sched, name, rtpc.DefaultCostModel(), seed)
+	k := kernel.New(m)
+	h := &Half{
+		k:          k,
+		rg:         rg,
+		ringIdx:    ringIdx,
+		nextHop:    make([]ring.Addr, rings),
+		SwitchCost: DefaultSwitchCost,
+	}
+	st := rg.Attach(name)
+	cfg := tradapter.DefaultConfig()
+	cfg.DMABufferKind = rtpc.SystemMemory // routers copy; keep DMA fast
+	h.drv = tradapter.New(k, st, cfg, tradapter.DefaultTiming())
+	for _, class := range []tradapter.Class{tradapter.ClassCTMSP, tradapter.ClassIP, tradapter.ClassARP} {
+		class := class
+		h.drv.SetHandler(class, func(rcv *tradapter.Received) []rtpc.Seg {
+			return h.ingress(class, rcv)
+		})
+	}
+	return h
+}
+
+// Kernel exposes the half's machine (for CPU accounting).
+func (h *Half) Kernel() *kernel.Kernel { return h.k }
+
+// Station exposes the half's ring attachment; sources address frames
+// needing forwarding to this station.
+func (h *Half) Station() *ring.Station { return h.drv.Station() }
+
+// Stats returns a snapshot of forwarding accounting.
+func (h *Half) Stats() HalfStats { return h.stats }
+
+// SetRoute declares that traffic for internetwork ring dstRing continues
+// via the bridge station at `via` on this half's own ring. Injecting a
+// frame for a ring with no route is a configuration error.
+func (h *Half) SetRoute(dstRing int, via ring.Addr) {
+	sim.Checkf(dstRing >= 0 && dstRing < len(h.nextHop), "route to ring %d out of range", dstRing)
+	sim.Checkf(dstRing != h.ringIdx, "route to the half's own ring is meaningless")
+	h.nextHop[dstRing] = via
+}
+
+// ingress runs at the receive interrupt: frames MAC-addressed to this
+// half are in transit to another ring. The switch decision and the one
+// unavoidable CPU copy happen here; the hand-off to the peer shard is the
+// final mark, carrying values only.
+func (h *Half) ingress(class tradapter.Class, rcv *tradapter.Received) []rtpc.Seg {
+	out, ok := rcv.Frame.Payload.(*tradapter.Outgoing)
+	if !ok || out.RoutedRing == 0 || h.Forward == nil {
+		h.stats.Dropped++
+		rcv.Release()
+		return nil
+	}
+	dstRing := out.RoutedRing - 1
+	if dstRing == h.ringIdx {
+		// Misrouted: the frame claims it already reached its final ring
+		// yet was MAC-addressed to the bridge.
+		h.stats.Dropped++
+		rcv.Release()
+		return nil
+	}
+	fwd := Forwarded{
+		DstRing: dstRing,
+		Dst:     out.RoutedDst,
+		Size:    rcv.Size,
+		Class:   class,
+		Tag:     out.Chain.Tag,
+		Capture: out.Capture,
+	}
+	m := h.k.Machine
+	segs := []rtpc.Seg{rtpc.Do("switch", h.SwitchCost)}
+	segs = append(segs, m.CopySegs("forward-copy", fwd.Size, rcv.Buffer.Kind, rtpc.SystemMemory)...)
+	segs = append(segs, rtpc.Mark("release", rcv.Release))
+	segs = append(segs, rtpc.Mark("hand-off", func() {
+		h.stats.Forwarded++
+		h.stats.Bytes += uint64(fwd.Size)
+		h.Forward(fwd)
+	}))
+	return segs
+}
+
+// Inject re-transmits a forwarded frame onto this half's ring: the final
+// delivery hop when DstRing is this ring, or the next bridge otherwise.
+// The shard engine calls it at the frame's arrival time (send time plus
+// the link's store-and-forward latency), from this half's own shard.
+func (h *Half) Inject(f Forwarded) {
+	ch := h.k.Pool.AllocNoWait(f.Size)
+	if ch == nil {
+		h.stats.Dropped++
+		return
+	}
+	ch.Tag = f.Tag
+	out := &tradapter.Outgoing{
+		Chain:   ch,
+		Size:    f.Size,
+		Class:   f.Class,
+		Capture: f.Capture,
+	}
+	if f.DstRing == h.ringIdx {
+		out.Dst = f.Dst
+	} else {
+		via := h.nextHop[f.DstRing]
+		if via == 0 {
+			sim.Checkf(false, "half %s: no route toward ring %d", fmt.Sprintf("r%d", h.ringIdx), f.DstRing)
+		}
+		out.Dst = via
+		out.RoutedDst = f.Dst
+		out.RoutedRing = f.DstRing + 1
+	}
+	pool := h.k.Pool
+	out.Done = func(ring.DeliveryStatus) { pool.Free(ch) }
+	h.stats.Injected++
+	h.drv.Output(out)
+	if depth := h.drv.Stats().MaxTxQueue; depth > h.stats.QueueMax {
+		h.stats.QueueMax = depth
+	}
+}

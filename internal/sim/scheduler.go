@@ -134,9 +134,10 @@ type Scheduler struct {
 	fired    uint64
 	trace    *Trace
 
-	// metrics flush watermarks (see total.go)
+	// metrics flush watermarks and deferral flag (see total.go)
 	flushedNow   Time
 	flushedFired uint64
+	deferFlush   bool
 }
 
 // maxFreeEvents caps the free list so a transient burst of timers does not

@@ -1,0 +1,228 @@
+package topo
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/router"
+	"repro/internal/sim"
+)
+
+// crossMsg is one frame in flight between shards. egress and dir are
+// fixed at Build time; deliverAt is the sender's clock plus the link
+// latency, so within one inbox deliverAt is nondecreasing (the sender's
+// clock is monotone and the latency constant).
+type crossMsg struct {
+	deliverAt sim.Time
+	dir       int    // global link-direction index: merge tiebreak
+	seq       uint64 // send order within the direction: final tiebreak
+	egress    *router.Half
+	frame     router.Forwarded
+}
+
+// inbox is the single-writer queue for one link direction. Only the
+// source shard's worker appends (during its window) and only the
+// destination shard's worker drains (at the next window boundary); the
+// conservative window guarantees no append ever races with a drain that
+// could take it — a message sent during window k+1 cannot be due before
+// window k+2 (DESIGN.md §9). The mutex is what makes that hand-off
+// visible to the race detector and orders the racing-but-ineligible
+// appends against the drain's slice surgery.
+type inbox struct {
+	dir    int
+	egress *router.Half
+
+	mu   sync.Mutex
+	msgs []crossMsg // guarded by mu
+	next uint64     // guarded by mu
+	sent uint64     // guarded by mu
+}
+
+func newInbox(dir int, egress *router.Half) *inbox {
+	return &inbox{dir: dir, egress: egress}
+}
+
+// put appends a message; called from the sender shard's worker.
+func (b *inbox) put(deliverAt sim.Time, f router.Forwarded) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, crossMsg{
+		deliverAt: deliverAt,
+		dir:       b.dir,
+		seq:       b.next,
+		egress:    b.egress,
+		frame:     f,
+	})
+	b.next++
+	b.sent++
+	b.mu.Unlock()
+}
+
+// drainDue appends every message with deliverAt ≤ bound to into and
+// removes them from the queue. deliverAt is nondecreasing within an
+// inbox, so the due messages are exactly a prefix.
+func (b *inbox) drainDue(bound sim.Time, into []crossMsg) []crossMsg {
+	b.mu.Lock()
+	due := 0
+	for due < len(b.msgs) && b.msgs[due].deliverAt <= bound {
+		due++
+	}
+	if due > 0 {
+		into = append(into, b.msgs[:due]...)
+		rest := copy(b.msgs, b.msgs[due:])
+		for i := rest; i < len(b.msgs); i++ {
+			b.msgs[i] = crossMsg{}
+		}
+		b.msgs = b.msgs[:rest]
+	}
+	b.mu.Unlock()
+	return into
+}
+
+// leftover reports messages still queued (in flight when the run ended).
+func (b *inbox) leftover() int {
+	b.mu.Lock()
+	l := len(b.msgs)
+	b.mu.Unlock()
+	return l
+}
+
+// barrier is a reusable cyclic barrier: await blocks until all n workers
+// arrive, then releases the generation together.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int    // guarded by mu
+	gen     uint64 // guarded by mu
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+	} else {
+		for gen == b.gen {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// drainInboxes moves every cross-ring frame due by bound out of this
+// shard's inboxes and schedules its injection at its arrival time. The
+// merge order — (deliverAt, direction index, send seq) — is a total
+// order on messages, so the scheduler sees identical (at, seq) insertions
+// regardless of how many workers the run uses.
+func (s *shard) drainInboxes(bound sim.Time) {
+	due := s.scratch[:0]
+	for _, box := range s.in {
+		due = box.drainDue(bound, due)
+	}
+	if len(due) > 0 {
+		sort.Slice(due, func(i, j int) bool {
+			a, b := due[i], due[j]
+			if a.deliverAt != b.deliverAt {
+				return a.deliverAt < b.deliverAt
+			}
+			if a.dir != b.dir {
+				return a.dir < b.dir
+			}
+			return a.seq < b.seq
+		})
+		for i := range due {
+			m := due[i]
+			s.sched.At(m.deliverAt, "topo.link-arrive", func() {
+				m.egress.Inject(m.frame)
+			})
+		}
+	}
+	s.scratch = due[:0]
+}
+
+// Run executes the network for the spec's duration and collects results.
+// workers ≤ 0 means GOMAXPROCS; workers is clamped to the shard count.
+// One worker steps its shards inline with no synchronization at all —
+// that run is the serial oracle — and any other worker count produces
+// bit-identical Results: shards only interact through inboxes, drains
+// happen at the same simulated times with the same merge order, and the
+// conservative window (minimum link latency ≥ the bridges' switch cost)
+// guarantees a window's drains can never see a racing window's sends.
+func (n *Network) Run(workers int) *Results {
+	sim.Checkf(!n.ran, "topo: Network.Run is single-shot; Build a fresh network")
+	n.ran = true
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(n.shards) {
+		workers = len(n.shards)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Shards publish process-wide metrics once at the end rather than
+	// racing tiny per-window flushes thousands of times a simulated
+	// second.
+	for _, s := range n.shards {
+		s.sched.DeferMetricsFlush(true)
+	}
+
+	if workers == 1 {
+		n.runWorker(0, 1, nil)
+	} else {
+		bar := newBarrier(workers)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				n.runWorker(w, workers, bar)
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	for _, s := range n.shards {
+		s.sched.FlushMetrics()
+		for _, g := range s.gens {
+			g.Stop()
+		}
+	}
+	return n.collect(workers)
+}
+
+// runWorker advances this worker's shards (strided assignment, fixed for
+// the whole run) window by window: drain the inboxes up to the window
+// end, run the shard's scheduler to it, then meet the other workers at
+// the barrier before starting the next window.
+func (n *Network) runWorker(w, workers int, bar *barrier) {
+	d := n.spec.Duration
+	for k := uint64(1); ; k++ {
+		t := sim.Time(k) * n.window
+		if t > d || t <= 0 {
+			t = d
+		}
+		for i := w; i < len(n.shards); i += workers {
+			s := n.shards[i]
+			s.drainInboxes(t)
+			s.sched.RunUntil(t)
+		}
+		if bar != nil {
+			bar.await()
+		}
+		if t >= d {
+			return
+		}
+	}
+}

@@ -1,0 +1,262 @@
+// Package topo scales the paper's single 4 Mbit/s Token Ring to a
+// campus internetwork: N rings joined by store-and-forward bridges
+// (internal/router halves), carrying cross-ring CTMSP sessions whose
+// admission reserves bandwidth on every hop of the path — the CDTP-style
+// chain transfer the ROADMAP's "millions of users" question needs.
+//
+// The package is also the repo's parallel simulation engine. Each ring —
+// with its stations, background load, bridge halves and stream machinery
+// — is one shard owning a private sim.Scheduler, and shards advance in
+// conservative lookahead windows bounded by the minimum bridge latency:
+// rings interact only through store-and-forward forwarding, whose latency
+// is exactly the lookahead a conservative parallel discrete-event engine
+// needs. Cross-ring frames travel through single-writer inbox queues
+// drained at window boundaries, so the event order on every shard is a
+// pure function of the Spec — bit-identical at any worker count, with
+// the one-worker run as the serial oracle (DESIGN.md §9).
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/ctmsp"
+	"repro/internal/ring"
+	"repro/internal/router"
+	"repro/internal/session"
+	"repro/internal/sim"
+	"repro/internal/tradapter"
+)
+
+// Defaults for the zero-valued Spec knobs.
+const (
+	// DefaultLinkLatency is a bridge's store-and-forward hand-off time:
+	// the switch decision plus the frame copy across the backplane to the
+	// egress adapter. It is deliberately larger than the bare
+	// router.DefaultSwitchCost floor — the window the engine may run
+	// shards ahead by is the minimum link latency, and the switch cost
+	// alone would mean a barrier every 180 µs of simulated time.
+	DefaultLinkLatency = 2 * sim.Millisecond
+	// defaultPopulation matches internal/core's campus-ring population so
+	// per-station repeat latency is comparable across runners.
+	defaultPopulation = 64
+	// defaultInsertionPurges is the paper's "on the order of 10"
+	// back-to-back purges per station insertion.
+	defaultInsertionPurges = 10
+	// maxOutstanding bounds packets a stream may queue in its Token Ring
+	// driver, as in the session layer.
+	maxOutstanding = 8
+)
+
+// LinkSpec is one internetwork edge: a split bridge joining rings A and B.
+type LinkSpec struct {
+	A, B int
+	// Latency is the bridge's store-and-forward hand-off time in each
+	// direction (0 = DefaultLinkLatency). It must be at least
+	// router.DefaultSwitchCost: the engine's lookahead window is the
+	// minimum latency over all links, and the proof that windowed
+	// execution is exact needs every link to respect that bound.
+	Latency sim.Time
+}
+
+// StreamSpec describes one CTMSP stream between two rings (SrcRing may
+// equal DstRing for a local control stream).
+type StreamSpec struct {
+	Name        string
+	SrcRing     int
+	DstRing     int
+	PacketBytes int
+	Interval    sim.Time
+	Class       session.Class
+}
+
+// OfferedBits is the per-ring bandwidth the stream reserves on every hop
+// of its path: packet plus Token Ring framing, every Interval.
+func (s StreamSpec) OfferedBits() int64 {
+	wire := s.PacketBytes + tradapter.RingOverhead
+	return int64(float64(wire*8) / s.Interval.Seconds())
+}
+
+// BurstSpec injects Count back-to-back frames from a dedicated host on
+// SrcRing to a sink on DstRing — cross-ring pressure for overflow tests:
+// a burst bigger than the source's mbuf pool or the bridge's egress queue
+// exercises every drop path deterministically.
+type BurstSpec struct {
+	SrcRing, DstRing int
+	At               sim.Time
+	Count            int
+	PacketBytes      int
+	// Gap spaces the burst's frames (0 = all queued at the same instant).
+	Gap sim.Time
+}
+
+// InsertionSpec forces a station insertion (a burst of back-to-back Ring
+// Purges) on one ring at a given time.
+type InsertionSpec struct {
+	Ring   int
+	At     sim.Time
+	Purges int // 0 = the paper's ~10
+}
+
+// Spec describes one internetwork run. The Spec is the complete input:
+// two Builds from equal Specs produce bit-identical Results at any
+// worker count.
+type Spec struct {
+	Name     string
+	Seed     int64
+	Duration sim.Time
+
+	// Rings is the number of Token Rings (shards).
+	Rings int
+	// RingBitRate overrides the 4 Mbit/s ring (0 = the paper's rate).
+	RingBitRate int64
+	// UtilizationCap is the per-ring admission cap
+	// (0 = session.DefaultUtilizationCap).
+	UtilizationCap float64
+	// BackgroundUtil is each ring's offered background load fraction.
+	BackgroundUtil float64
+	// PopulationStations pads each ring's station count (0 = 64).
+	PopulationStations int
+	// PlayoutPrebuffer delays each stream's playback
+	// (0 = session.DefaultPrebuffer; multi-hop paths want more).
+	PlayoutPrebuffer sim.Time
+
+	Links      []LinkSpec
+	Streams    []StreamSpec
+	Bursts     []BurstSpec
+	Insertions []InsertionSpec
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.RingBitRate == 0 {
+		s.RingBitRate = ring.DefaultConfig().BitRate
+	}
+	if s.UtilizationCap == 0 {
+		s.UtilizationCap = session.DefaultUtilizationCap
+	}
+	if s.PopulationStations == 0 {
+		s.PopulationStations = defaultPopulation
+	}
+	if s.PlayoutPrebuffer == 0 {
+		s.PlayoutPrebuffer = session.DefaultPrebuffer
+	}
+	links := make([]LinkSpec, len(s.Links))
+	copy(links, s.Links)
+	for i := range links {
+		if links[i].Latency == 0 {
+			links[i].Latency = DefaultLinkLatency
+		}
+	}
+	s.Links = links
+	return s
+}
+
+// Validate reports specification mistakes early, before any machinery is
+// built.
+func (s Spec) Validate() error {
+	switch {
+	case s.Duration <= 0:
+		return fmt.Errorf("topo: duration must be positive")
+	case s.Rings < 1:
+		return fmt.Errorf("topo: need at least one ring, got %d", s.Rings)
+	case s.UtilizationCap < 0 || s.UtilizationCap > 1:
+		return fmt.Errorf("topo: utilization cap %v out of [0,1]", s.UtilizationCap)
+	case s.BackgroundUtil < 0 || s.BackgroundUtil >= 1:
+		return fmt.Errorf("topo: background utilization %v out of [0,1)", s.BackgroundUtil)
+	}
+	for i, l := range s.Links {
+		switch {
+		case l.A < 0 || l.A >= s.Rings || l.B < 0 || l.B >= s.Rings:
+			return fmt.Errorf("topo: link %d joins rings %d-%d, outside 0..%d", i, l.A, l.B, s.Rings-1)
+		case l.A == l.B:
+			return fmt.Errorf("topo: link %d joins ring %d to itself", i, l.A)
+		case l.Latency != 0 && l.Latency < router.DefaultSwitchCost:
+			return fmt.Errorf("topo: link %d latency %v is below the switch cost %v the lookahead bound needs",
+				i, l.Latency, sim.Time(router.DefaultSwitchCost))
+		}
+	}
+	reach := reachability(s.Rings, s.Links)
+	for i, st := range s.Streams {
+		switch {
+		case st.SrcRing < 0 || st.SrcRing >= s.Rings || st.DstRing < 0 || st.DstRing >= s.Rings:
+			return fmt.Errorf("topo: stream %d (%s) uses rings %d→%d, outside 0..%d",
+				i, st.Name, st.SrcRing, st.DstRing, s.Rings-1)
+		case st.PacketBytes <= ctmsp.HeaderSize || st.PacketBytes > 4000:
+			return fmt.Errorf("topo: stream %d (%s): packet size %d out of range", i, st.Name, st.PacketBytes)
+		case st.Interval <= 0:
+			return fmt.Errorf("topo: stream %d (%s): interval must be positive", i, st.Name)
+		case st.Class < session.ClassBackground || st.Class > session.ClassInteractive:
+			return fmt.Errorf("topo: stream %d (%s): unknown class %d", i, st.Name, int(st.Class))
+		case !reach[st.SrcRing][st.DstRing]:
+			return fmt.Errorf("topo: stream %d (%s): no path from ring %d to ring %d",
+				i, st.Name, st.SrcRing, st.DstRing)
+		}
+	}
+	for i, b := range s.Bursts {
+		switch {
+		case b.SrcRing < 0 || b.SrcRing >= s.Rings || b.DstRing < 0 || b.DstRing >= s.Rings:
+			return fmt.Errorf("topo: burst %d uses rings %d→%d, outside 0..%d", i, b.SrcRing, b.DstRing, s.Rings-1)
+		case b.Count <= 0 || b.PacketBytes <= 0:
+			return fmt.Errorf("topo: burst %d needs positive count and size", i)
+		case b.At < 0 || b.At > s.Duration:
+			return fmt.Errorf("topo: burst %d at %v outside the run", i, b.At)
+		case !reach[b.SrcRing][b.DstRing]:
+			return fmt.Errorf("topo: burst %d: no path from ring %d to ring %d", i, b.SrcRing, b.DstRing)
+		}
+	}
+	for i, ins := range s.Insertions {
+		if ins.Ring < 0 || ins.Ring >= s.Rings {
+			return fmt.Errorf("topo: insertion %d on ring %d, outside 0..%d", i, ins.Ring, s.Rings-1)
+		}
+		if ins.At < 0 || ins.At > s.Duration {
+			return fmt.Errorf("topo: insertion %d at %v outside the run", i, ins.At)
+		}
+	}
+	return nil
+}
+
+// reachability computes the transitive ring-to-ring connectivity.
+func reachability(rings int, links []LinkSpec) [][]bool {
+	reach := make([][]bool, rings)
+	for i := range reach {
+		reach[i] = make([]bool, rings)
+		reach[i][i] = true
+	}
+	// Union by repeated relaxation; ring counts are small.
+	for changed := true; changed; {
+		changed = false
+		for _, l := range links {
+			for d := 0; d < rings; d++ {
+				if reach[l.A][d] && !reach[l.B][d] {
+					reach[l.B][d] = true
+					changed = true
+				}
+				if reach[l.B][d] && !reach[l.A][d] {
+					reach[l.A][d] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return reach
+}
+
+// mixSeed derives an independent seed per component so nearby indices get
+// unrelated RNG streams (splitmix64-style finalizer, as core.SweepSeed
+// does for sweep points and session does for stream hosts).
+func mixSeed(base int64, salt uint64) int64 {
+	h := uint64(base) + salt*0x9e3779b97f4a7c15
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return int64(h)
+}
+
+// Salt spaces for mixSeed, keeping component seeds disjoint.
+const (
+	saltRing   = 0x0100_0000
+	saltHalf   = 0x0200_0000
+	saltStream = 0x0400_0000
+	saltBurst  = 0x0800_0000
+)
