@@ -56,12 +56,12 @@ bench:
 # Refresh the baseline with: make bench-baseline (on a quiet machine).
 bench-check:
 	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
-		-shards 1,2,4,8 \
+		-shards 1,2,4,8 -population \
 		-benchout /tmp/ctmsbench-check.json -compare BENCH.baseline.json
 
 bench-baseline:
 	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
-		-shards 1,2,4,8 \
+		-shards 1,2,4,8 -population \
 		-benchout BENCH.baseline.json
 
 # The public API surface (go doc -all of the root package) is pinned in

@@ -20,6 +20,7 @@
 //	ctmsbench -benchout x.json # where to write the perf record ("" = off)
 //	ctmsbench -scenario f.json # run custom Options scenario(s) from a file
 //	ctmsbench -shards 1,2,4,8  # E18 backbone shard-scaling benchmark
+//	ctmsbench -population      # E19 population sweep rows in BENCH.json
 //	ctmsbench -cpuprofile c.pb # write a CPU profile of the whole run
 //	ctmsbench -memprofile m.pb # write a heap profile at exit
 //
@@ -35,6 +36,13 @@
 // rows. Real speedup needs as many free cores as shard workers; on a
 // smaller host the rows still gate correctness (identical=true) while
 // the speedup column honestly reports the time-sharing loss.
+//
+// The -population benchmark runs the E19 offered-load sweep (Zipf-skewed
+// demand, Poisson churn) and records one row per arrival rate — the
+// admission-rate curve and the p99/p999 playout-latency tail — in
+// BENCH.json's population rows. Under -compare the rows double as a
+// determinism gate: at a matching rate and scale the arrival and
+// admission counts must reproduce the baseline exactly.
 package main
 
 import (
@@ -118,6 +126,25 @@ type benchRecord struct {
 	Failures     int               `json:"failures"`
 	Experiments  []benchExperiment `json:"experiments"`
 	ShardScaling []shardScaling    `json:"shard_scaling,omitempty"`
+	Population   []populationRow   `json:"population,omitempty"`
+}
+
+// populationRow is one offered-load point of the E19 population sweep:
+// the admission-rate curve and the latency tail at one arrival rate.
+// Arrivals/Admitted/Rejected are exact deterministic counts — under
+// -compare they must reproduce the baseline's when rate and scale match.
+type populationRow struct {
+	Rate          float64 `json:"rate"`
+	Arrivals      int     `json:"arrivals"`
+	Admitted      int     `json:"admitted"`
+	Rejected      int     `json:"rejected"`
+	Departed      int     `json:"departed"`
+	AdmissionRate float64 `json:"admission_rate"`
+	P99Ms         float64 `json:"p99_ms"`
+	P999Ms        float64 `json:"p999_ms"`
+	WorstGPM      float64 `json:"worst_glitch_per_min"`
+	LatencyN      uint64  `json:"latency_samples"`
+	WallSeconds   float64 `json:"wall_seconds"`
 }
 
 // shardScaling is one row of the E18 backbone scaling benchmark: the same
@@ -170,6 +197,7 @@ func realMain() int {
 		mallocTol  = flag.Float64("malloc-tolerance", 0.10, "with -compare: allowed fractional mallocs growth over the baseline")
 		speedTol   = flag.Float64("speed-tolerance", 0.50, "with -compare: allowed fractional sim_seconds_per_second loss vs the baseline")
 		shards     = flag.String("shards", "", "comma-separated worker counts for the E18 shard-scaling benchmark (e.g. 1,2,4,8; empty disables)")
+		population = flag.Bool("population", false, "run the E19 population offered-load sweep and record its rows")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -314,6 +342,19 @@ func realMain() int {
 		}
 	}
 
+	if *population {
+		rows, err := runPopulationBench(scale, *seed, *parallel)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+			return 1
+		}
+		rec.Population = rows
+		for _, row := range rows {
+			fmt.Printf("--- population %4.0f/s: %d arrivals  %.3f admitted  p99=%.1fms p999=%.1fms  wall %.2fs\n",
+				row.Rate, row.Arrivals, row.AdmissionRate, row.P99Ms, row.P999Ms, row.WallSeconds)
+		}
+	}
+
 	if *benchout != "" {
 		if err := writeBench(*benchout, rec); err != nil {
 			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
@@ -398,6 +439,50 @@ func runShardScaling(list string, scale core.Scale, seed int64) ([]shardScaling,
 	return rows, nil
 }
 
+// populationRates is the E19 offered-load sweep ctmsbench records:
+// light load, the budget crossover, and deep overload.
+var populationRates = []float64{1, 4, 16, 32}
+
+// runPopulationBench runs the E19 population sweep once and converts its
+// points to BENCH.json rows. The simulated duration is the matrix scale
+// capped at 12 s (E19's own cap), and the per-row wall time is the whole
+// sweep's wall split by simulated share — each point is one simulation,
+// so finer attribution would need per-run clocks the determinism
+// analyzer keeps out of internal/core.
+func runPopulationBench(scale core.Scale, seed int64, parallel int) ([]populationRow, error) {
+	dur := 12 * sim.Second
+	if scale.Duration > 0 && scale.Duration < dur {
+		dur = scale.Duration
+	}
+	base := seed
+	if base == 0 {
+		base = 1991
+	}
+	start := time.Now()
+	points, err := core.PopulationSweep(core.SweepSeed(base, 19), dur, populationRates, parallel)
+	if err != nil {
+		return nil, err
+	}
+	wallEach := time.Since(start).Seconds() / float64(len(points))
+	rows := make([]populationRow, len(points))
+	for i, p := range points {
+		rows[i] = populationRow{
+			Rate:          p.OfferedPerSec,
+			Arrivals:      p.Arrivals,
+			Admitted:      p.Admitted,
+			Rejected:      p.Rejected,
+			Departed:      p.Departed,
+			AdmissionRate: p.AdmissionRate(),
+			P99Ms:         p.P99Us / 1000,
+			P999Ms:        p.P999Us / 1000,
+			WorstGPM:      p.WorstGPM,
+			LatencyN:      p.LatencyN,
+			WallSeconds:   wallEach,
+		}
+	}
+	return rows, nil
+}
+
 // compareBench checks the just-produced record against a baseline
 // BENCH.json. It fails when mallocs grew past the malloc tolerance, when
 // simulated-seconds-per-second fell past the speed tolerance, or when
@@ -449,6 +534,26 @@ func compareBench(path string, rec benchRecord, mallocTol, speedTol float64) err
 				problems = append(problems, fmt.Sprintf(
 					"%d-shard sim_seconds_per_second %.1f fell below baseline %.1f (floor %.1f)",
 					row.Shards, row.SimSecPerSec, b.SimSecPerSec, floor))
+			}
+		}
+	}
+	// Population rows gate determinism: an arrival schedule is a pure
+	// function of (seed, spec, duration), so at a matching rate — and
+	// only when both records ran the same scale, since duration changes
+	// the schedule — the exact counts must reproduce. A baseline without
+	// population rows never trips the gate.
+	if base.ScaleMinutes == rec.ScaleMinutes {
+		for _, row := range rec.Population {
+			for _, b := range base.Population {
+				if b.Rate != row.Rate {
+					continue
+				}
+				if row.Arrivals != b.Arrivals || row.Admitted != b.Admitted || row.Rejected != b.Rejected {
+					problems = append(problems, fmt.Sprintf(
+						"population %g/s: counts %d/%d/%d (arrivals/admitted/rejected) no longer reproduce baseline %d/%d/%d",
+						row.Rate, row.Arrivals, row.Admitted, row.Rejected,
+						b.Arrivals, b.Admitted, b.Rejected))
+				}
 			}
 		}
 	}

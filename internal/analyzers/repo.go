@@ -22,6 +22,8 @@ var SimCriticalPackages = []string{
 	"internal/lab",
 	"internal/router",
 	"internal/topo",
+	"internal/workload",
+	"internal/stats",
 }
 
 // All lists every syntactic-tier analyzer, for scope policy and

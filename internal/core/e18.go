@@ -50,12 +50,14 @@ func E18Topology(rings int, seed int64, duration sim.Time) topo.Spec {
 	}
 	add := func(name string, src, dst, bytes int, class session.Class) {
 		spec.Streams = append(spec.Streams, topo.StreamSpec{
-			Name:        name,
-			SrcRing:     src,
-			DstRing:     dst,
-			PacketBytes: bytes,
-			Interval:    12 * sim.Millisecond,
-			Class:       class,
+			StreamSpec: session.StreamSpec{
+				Name:        name,
+				PacketBytes: bytes,
+				Interval:    12 * sim.Millisecond,
+				Class:       class,
+			},
+			SrcRing: src,
+			DstRing: dst,
 		})
 	}
 	// One local stream per ring (the paper's single-ring workload).

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestE19PopulationSmoke is the CI gate for the population workload: E19
+// at a reduced scale must pass every metric, including the lab serial-vs-
+// parallel identity and the 1/2/4-worker census fingerprint identity.
+func TestE19PopulationSmoke(t *testing.T) {
+	cmp := runE19(Scale{Duration: 6 * sim.Second})
+	if !cmp.AllOK() {
+		t.Fatalf("E19 deviated:\n%s", cmp.Render())
+	}
+}
+
+// TestE19SweepShape pins the exported sweep helper ctmsbench builds on:
+// per-point population accounting is self-consistent and the latency
+// histogram is populated.
+func TestE19SweepShape(t *testing.T) {
+	points, err := PopulationSweep(7, 4*sim.Second, []float64{6, 24}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Arrivals == 0 || p.Admitted == 0 {
+			t.Fatalf("empty point %+v", p)
+		}
+		if p.Admitted+p.Rejected != p.Arrivals {
+			t.Fatalf("accounting broken: %d admitted + %d rejected != %d arrivals",
+				p.Admitted, p.Rejected, p.Arrivals)
+		}
+		if p.LatencyN == 0 || p.P999Us < p.P99Us {
+			t.Fatalf("latency distribution broken: %+v", p)
+		}
+	}
+	if points[1].Arrivals <= points[0].Arrivals {
+		t.Fatalf("higher rate produced fewer arrivals: %+v", points)
+	}
+}

@@ -116,6 +116,7 @@ func Experiments() []Experiment {
 		{ID: "E16", Source: "title", Title: "what-if: the 16 Mbit Token Ring", Run: runE16},
 		{ID: "E17", Source: "§3 (sessions)", Title: "multi-stream admission: the knee, the free-for-all, the shed", Run: runE17},
 		{ID: "E18", Source: "§1 (scale)", Title: "K-ring backbone: per-hop admission, sharded engine oracle", Run: runE18},
+		{ID: "E19", Source: "§1 (population)", Title: "population workload: Zipf skew, Poisson churn, distributional latency", Run: runE19},
 	}
 }
 

@@ -14,10 +14,18 @@ const (
 	// EvShed records a purge-driven shed: A = stream index, B = released
 	// bits/s.
 	EvShed sim.EventKind = 18
+	// EvArrive records a population stream's arrival (before its
+	// admission verdict): A = stream index, B = offered bits/s.
+	EvArrive sim.EventKind = 19
+	// EvDepart records a population stream hanging up: A = stream index,
+	// B = released bits/s.
+	EvDepart sim.EventKind = 20
 )
 
 func init() {
 	sim.RegisterEventKind(EvAdmit, "session.admit")
 	sim.RegisterEventKind(EvReject, "session.reject")
 	sim.RegisterEventKind(EvShed, "session.shed")
+	sim.RegisterEventKind(EvArrive, "session.arrive")
+	sim.RegisterEventKind(EvDepart, "session.depart")
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/rtpc"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/tradapter"
 	"repro/internal/vca"
 	"repro/internal/workload"
@@ -105,6 +106,14 @@ type Config struct {
 	Trace *sim.Trace
 
 	Streams []StreamSpec
+
+	// Population, when non-nil, adds a statistical stream population on
+	// top of Streams: Poisson arrivals with Zipf-skewed titles and churn,
+	// compiled to a deterministic schedule before the run starts and
+	// admitted live as each arrival fires (so storms and purge penalties
+	// shape the verdicts). Population runs also record a playout-latency
+	// histogram in Results.PlayoutLatency.
+	Population *workload.PopulationSpec
 }
 
 // Validate reports configuration mistakes early.
@@ -112,7 +121,7 @@ func (c Config) Validate() error {
 	switch {
 	case c.Duration <= 0:
 		return fmt.Errorf("session: duration must be positive")
-	case len(c.Streams) == 0:
+	case len(c.Streams) == 0 && c.Population == nil:
 		return fmt.Errorf("session: no streams")
 	case c.UtilizationCap < 0 || c.UtilizationCap > 1:
 		return fmt.Errorf("session: utilization cap %v out of [0,1]", c.UtilizationCap)
@@ -122,6 +131,11 @@ func (c Config) Validate() error {
 	for i, s := range c.Streams {
 		if err := s.validate(i); err != nil {
 			return err
+		}
+	}
+	if c.Population != nil {
+		if err := c.Population.Validate(); err != nil {
+			return fmt.Errorf("session: %w", err)
 		}
 	}
 	return nil
@@ -152,6 +166,16 @@ type StreamResult struct {
 	// degradation policy; ShedAt is when.
 	Shed   bool
 	ShedAt sim.Time
+
+	// Population accounting: Arrived marks a churn-generated stream,
+	// ArrivedAt is its Poisson arrival offset, Title its Zipf-drawn
+	// catalog rank. Departed/DepartedAt record a natural hang-up (churn),
+	// as opposed to a policy shed.
+	Arrived    bool
+	ArrivedAt  sim.Time
+	Title      int
+	Departed   bool
+	DepartedAt sim.Time
 
 	// Stream accounting (admitted streams only).
 	Sent       uint64
@@ -206,6 +230,15 @@ type Results struct {
 	Admitted int
 	Rejected int
 	ShedN    int
+	// Departed counts population streams that hung up naturally (churn),
+	// releasing their reservation without a shed.
+	Departed int
+
+	// PlayoutLatency aggregates every delivered packet's delay past its
+	// nominal capture schedule, in microseconds; non-nil only for
+	// population runs (Config.Population set), where the distribution's
+	// p99/p999 is the experiment's deliverable.
+	PlayoutLatency *stats.Histogram
 
 	Ring            ring.Counters
 	RingUtilization float64
@@ -269,15 +302,23 @@ func (r *Results) Report() string {
 
 // stream is one admitted stream's live machinery.
 type stream struct {
-	idx    int
-	spec   StreamSpec
-	dev    *vca.Device
-	txDrv  *vca.TxDriver
-	recv   *ctmsp.Receiver
-	play   *playout.Playout
-	shed   bool
-	shedAt sim.Time
+	idx      int
+	spec     StreamSpec
+	dev      *vca.Device
+	txDrv    *vca.TxDriver
+	recv     *ctmsp.Receiver
+	play     *playout.Playout
+	shed     bool
+	shedAt   sim.Time
+	startAt  sim.Time // population arrivals start mid-run
+	departed bool
+	departAt sim.Time
 }
+
+// stormSpacing separates the insertions of a correlated storm: each one
+// is ~10 back-to-back purges (≈120 ms of outage), so consecutive
+// insertions land just after the previous outage ends.
+const stormSpacing = 120 * sim.Millisecond
 
 // mixSeed derives an independent seed per stream component so nearby
 // stream indices get unrelated RNG streams (splitmix64-style finalizer,
@@ -341,6 +382,14 @@ func Run(cfg Config) (*Results, error) {
 	var live []*stream
 	byID := make(map[int]*stream)
 
+	// Population runs record every delivered packet's playout delay; the
+	// histogram is shared across static and churn-generated streams.
+	var popHist *stats.Histogram
+	if cfg.Population != nil {
+		popHist = stats.NewHistogram(100, "playout latency")
+		results.PlayoutLatency = popHist
+	}
+
 	for i, spec := range cfg.Streams {
 		bits := spec.OfferedBits()
 		var dec Decision
@@ -358,7 +407,7 @@ func Run(cfg Config) (*Results, error) {
 		results.Admitted++
 		cfg.Trace.AddEvent(sched.Now(), EvAdmit, int64(i), dec.ReservedBits)
 		r.ReserveBits(bits)
-		st, err := buildStream(cfg, i, spec, sched, r)
+		st, err := buildStream(cfg, i, spec, sched, r, 0, popHist)
 		if err != nil {
 			return nil, err
 		}
@@ -367,7 +416,7 @@ func Run(cfg Config) (*Results, error) {
 	}
 
 	shedStream := func(st *stream, at sim.Time) {
-		if st.shed {
+		if st.shed || st.departed {
 			return
 		}
 		st.shed = true
@@ -406,12 +455,91 @@ func Run(cfg Config) (*Results, error) {
 		})
 	}
 
+	// The population: its whole arrival schedule was compiled from a
+	// Fork-derived RNG before the run, so the draws depend only on (seed,
+	// spec); the scheduler then replays it, admitting each arrival at its
+	// arrival instant — against whatever budget the purge penalties and
+	// earlier arrivals have left — and hanging it up at its churn-drawn
+	// departure.
+	if cfg.Population != nil {
+		pop := cfg.Population.WithDefaults()
+		arrivals := pop.Compile(rng.Fork("population"), cfg.Duration)
+		baseID := len(cfg.Streams)
+		results.Streams = append(results.Streams, make([]StreamResult, len(arrivals))...)
+		for j, a := range arrivals {
+			id := baseID + j
+			cc := pop.Classes[a.Class]
+			spec := StreamSpec{
+				Name:        fmt.Sprintf("pop-%04d-%s", j, cc.Name),
+				PacketBytes: cc.PacketBytes,
+				Interval:    cc.Interval,
+				Class:       Class(cc.Priority),
+			}
+			res := &results.Streams[id]
+			*res = StreamResult{Spec: spec, Arrived: true, ArrivedAt: a.At, Title: a.Title}
+			arrival := a
+			streamID := id
+			sched.At(a.At, "session.pop-arrive", func() {
+				bits := spec.OfferedBits()
+				cfg.Trace.AddEvent(arrival.At, EvArrive, int64(streamID), bits)
+				var dec Decision
+				if cfg.DisableAdmission {
+					dec = Decision{Admitted: true, ReservedBits: bits}
+				} else {
+					dec = ctrl.Admit(streamID, spec.Class, bits)
+				}
+				res.Decision = dec
+				if !dec.Admitted {
+					results.Rejected++
+					cfg.Trace.AddEvent(arrival.At, EvReject, int64(streamID), bits)
+					return
+				}
+				results.Admitted++
+				cfg.Trace.AddEvent(arrival.At, EvAdmit, int64(streamID), dec.ReservedBits)
+				r.ReserveBits(bits)
+				st, err := buildStream(cfg, streamID, spec, sched, r, arrival.At, popHist)
+				// The spec was validated before the run; machinery
+				// construction cannot fail for it.
+				sim.Checkf(err == nil, "population stream %d: %v", streamID, err)
+				live = append(live, st)
+				byID[streamID] = st
+				st.dev.Start()
+				if arrival.DepartAt < cfg.Duration {
+					sched.At(arrival.DepartAt, "session.pop-depart", func() {
+						if st.shed || st.departed {
+							return
+						}
+						st.departed = true
+						st.departAt = arrival.DepartAt
+						st.dev.Stop()
+						ctrl.Release(streamID)
+						r.ReserveBits(-bits)
+						cfg.Trace.AddEvent(arrival.DepartAt, EvDepart, int64(streamID), bits)
+					})
+				}
+			})
+		}
+		// Correlated insertion storm: back-to-back station insertions, a
+		// bigger capacity shock than any single purge burst.
+		if pop.StormAt > 0 && pop.StormInsertions > 0 {
+			for k := 0; k < pop.StormInsertions; k++ {
+				at := pop.StormAt + sim.Time(k)*stormSpacing
+				if at >= cfg.Duration {
+					break
+				}
+				sched.At(at, "session.pop-storm", func() {
+					r.Insertion(defaultInsertionPurges)
+				})
+			}
+		}
+	}
+
 	for _, st := range live {
 		st.dev.Start()
 	}
 	sched.RunUntil(cfg.Duration)
 	for _, st := range live {
-		if !st.shed {
+		if !st.shed && !st.departed {
 			st.dev.Stop()
 		}
 	}
@@ -423,6 +551,8 @@ func Run(cfg Config) (*Results, error) {
 		res := &results.Streams[st.idx]
 		res.Shed = st.shed
 		res.ShedAt = st.shedAt
+		res.Departed = st.departed
+		res.DepartedAt = st.departAt
 		end := cfg.Duration
 		if st.shed {
 			// Judge a shed stream on the time it was allowed to run; its
@@ -430,7 +560,13 @@ func Run(cfg Config) (*Results, error) {
 			end = st.shedAt
 			results.ShedN++
 		}
-		res.ActiveTime = end
+		if st.departed {
+			// A churn departure is the stream's own hang-up; judge it on
+			// the time it chose to run.
+			end = st.departAt
+			results.Departed++
+		}
+		res.ActiveTime = end - st.startAt
 		tx := st.txDrv.Stats()
 		rx := st.recv.Stats()
 		res.Sent = tx.PacketsSent
@@ -453,8 +589,11 @@ func Run(cfg Config) (*Results, error) {
 // buildStream attaches one admitted stream to the ring: its own
 // transmitter and receiver machines (the paper's RT/PC pair), a CTMSP
 // connection with a precomputed ring header, the VCA source interrupting
-// every Interval, and the receive path feeding a playout buffer.
-func buildStream(cfg Config, i int, spec StreamSpec, sched *sim.Scheduler, r *ring.Ring) (*stream, error) {
+// every Interval, and the receive path feeding a playout buffer. startAt
+// is when the stream's device starts ticking (population arrivals start
+// mid-run); lat, when non-nil, receives each delivered packet's delay
+// past its nominal capture schedule.
+func buildStream(cfg Config, i int, spec StreamSpec, sched *sim.Scheduler, r *ring.Ring, startAt sim.Time, lat *stats.Histogram) (*stream, error) {
 	trCfg := tradapter.DefaultConfig()
 	trCfg.CTMSPRingPriority = spec.Class.RingPriority()
 
@@ -470,7 +609,10 @@ func buildStream(cfg Config, i int, spec StreamSpec, sched *sim.Scheduler, r *ri
 	txK, txTR := mkHost("tx", uint64(i)*2+1)
 	rxK, rxTR := mkHost("rx", uint64(i)*2+2)
 
-	conn, err := ctmsp.Dial(txK, txTR, rxTR.Station().Addr(), uint8(i+1))
+	// Connection ids are a uint8 namespace; population runs can exceed it,
+	// and the id only disambiguates packets on the shared ring trace, so
+	// wrapping is safe (identical to i+1 for the first 250 streams).
+	conn, err := ctmsp.Dial(txK, txTR, rxTR.Station().Addr(), uint8(i%250+1))
 	if err != nil {
 		return nil, fmt.Errorf("session: stream %d (%s): %w", i, spec.Name, err)
 	}
@@ -494,8 +636,18 @@ func buildStream(cfg Config, i int, spec StreamSpec, sched *sim.Scheduler, r *ri
 	rxDrv.OnDelivered = func(h ctmsp.Header, at sim.Time, ev ctmsp.Event) {
 		if ev == ctmsp.InOrder || ev == ctmsp.Gap {
 			play.Deliver(int(h.Length)-ctmsp.HeaderSize, at)
+			if lat != nil {
+				// Packet n was captured at startAt + (n+1)·Interval (the
+				// device's first interrupt fires one period after Start);
+				// anything past that is transport plus queueing delay.
+				d := at - (startAt + sim.Time(h.PacketNum+1)*spec.Interval)
+				if d < 0 {
+					d = 0
+				}
+				lat.Add(d.Microseconds())
+			}
 		}
 	}
 
-	return &stream{idx: i, spec: spec, dev: dev, txDrv: txDrv, recv: recv, play: play}, nil
+	return &stream{idx: i, spec: spec, dev: dev, txDrv: txDrv, recv: recv, play: play, startAt: startAt}, nil
 }

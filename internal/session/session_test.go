@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ring"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // specN builds n identical 500-byte/12 ms streams (≈347 kbit/s on the
@@ -263,5 +264,102 @@ func TestSessionValidate(t *testing.T) {
 		if err := cfg.Validate(); err == nil {
 			t.Fatalf("config %d must fail validation", i)
 		}
+	}
+}
+
+// popConfig is a small churning population: enough offered load that the
+// budget fills up and later arrivals get rejected, plus a storm.
+func popConfig() Config {
+	return Config{
+		Name:           "pop",
+		Seed:           1991,
+		Duration:       8 * sim.Second,
+		BackgroundUtil: 0.05,
+		Population: &workload.PopulationSpec{
+			ArrivalsPerSec:  6,
+			ZipfSkew:        1.1,
+			Titles:          16,
+			ChurnHalfLife:   2 * sim.Second,
+			StormAt:         4 * sim.Second,
+			StormInsertions: 2,
+		},
+	}
+}
+
+func TestSessionPopulationChurn(t *testing.T) {
+	res, err := Run(popConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Streams) < 20 {
+		t.Fatalf("only %d population arrivals", len(res.Streams))
+	}
+	if res.Admitted == 0 {
+		t.Fatal("no population stream admitted")
+	}
+	if res.Rejected == 0 {
+		t.Fatal("offered load never exceeded the budget")
+	}
+	if res.Departed == 0 {
+		t.Fatal("no churn departures in 8 s with a 2 s half-life")
+	}
+	if res.PlayoutLatency == nil || res.PlayoutLatency.N() == 0 {
+		t.Fatal("population run recorded no playout-latency samples")
+	}
+	for i, s := range res.Streams {
+		if !s.Arrived {
+			t.Fatalf("stream %d not marked as a population arrival", i)
+		}
+		if s.Title < 0 || s.Title >= 16 {
+			t.Fatalf("stream %d title %d out of range", i, s.Title)
+		}
+		if s.Departed {
+			if !s.Decision.Admitted || s.Shed {
+				t.Fatalf("stream %d departed but admitted=%v shed=%v",
+					i, s.Decision.Admitted, s.Shed)
+			}
+			if s.DepartedAt <= s.ArrivedAt {
+				t.Fatalf("stream %d departed at %v before arriving at %v",
+					i, s.DepartedAt, s.ArrivedAt)
+			}
+			if s.ActiveTime != s.DepartedAt-s.ArrivedAt {
+				t.Fatalf("stream %d active time %v, want %v",
+					i, s.ActiveTime, s.DepartedAt-s.ArrivedAt)
+			}
+		}
+		if s.Decision.Admitted && s.ActiveTime > 0 && s.Sent == 0 &&
+			s.ActiveTime > 100*sim.Millisecond {
+			t.Fatalf("admitted stream %d ran %v but never sent", i, s.ActiveTime)
+		}
+	}
+	// Departures release budget: the end-of-run reservation must be less
+	// than the sum ever admitted.
+	var admittedBits int64
+	for _, s := range res.Streams {
+		if s.Decision.Admitted {
+			admittedBits += s.Spec.OfferedBits()
+		}
+	}
+	if res.ReservedBitsEnd >= admittedBits {
+		t.Fatalf("departures released nothing: reserved %d of %d admitted bits",
+			res.ReservedBitsEnd, admittedBits)
+	}
+}
+
+func TestSessionPopulationDeterminism(t *testing.T) {
+	a, err := Run(popConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(popConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report() != b.Report() {
+		t.Fatalf("same population config, different results:\n--- a\n%s--- b\n%s",
+			a.Report(), b.Report())
+	}
+	if a.PlayoutLatency.String() != b.PlayoutLatency.String() {
+		t.Fatal("same population config, different latency histograms")
 	}
 }

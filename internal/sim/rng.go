@@ -3,6 +3,7 @@ package sim
 import (
 	"math"
 	"math/rand"
+	"sort"
 )
 
 // RNG is a deterministic source of random variates for the model. It wraps
@@ -15,6 +16,13 @@ import (
 type RNG struct {
 	r    *rand.Rand
 	seed int64
+
+	// Zipf sampler state: the CDF is precomputed once per (n, s) pair and
+	// reused across draws, so a population generator sampling the same
+	// title distribution millions of times pays the harmonic sum once.
+	zipfN   int
+	zipfS   float64
+	zipfCDF []float64
 }
 
 // NewRNG returns a generator seeded with seed.
@@ -109,6 +117,41 @@ func (g *RNG) Pareto(lo, hi Time, alpha float64) Time {
 		x = h
 	}
 	return Time(x)
+}
+
+// Zipf returns a rank in [0, n) drawn from a Zipf distribution with
+// exponent s: rank k is chosen with probability proportional to
+// 1/(k+1)^s, so rank 0 is the most popular. s = 0 degenerates to the
+// uniform distribution. The sampler inverts a precomputed CDF with one
+// uniform draw, so the number of draws consumed per call is fixed —
+// unlike rejection samplers, inserting or removing one Zipf consumer
+// never perturbs the variates another Fork-derived stream sees.
+func (g *RNG) Zipf(n int, s float64) int {
+	Checkf(n > 0, "Zipf needs a positive rank count, got %d", n)
+	Checkf(s >= 0, "Zipf exponent must be non-negative, got %v", s)
+	if n != g.zipfN || s != g.zipfS {
+		g.zipfN, g.zipfS = n, s
+		g.zipfCDF = zipfCDF(n, s)
+	}
+	u := g.r.Float64()
+	cdf := g.zipfCDF
+	return sort.Search(n, func(i int) bool { return cdf[i] > u })
+}
+
+// zipfCDF precomputes the cumulative distribution of ranks 0..n-1 with
+// weights 1/(k+1)^s, normalized so the last entry is exactly 1.
+func zipfCDF(n int, s float64) []float64 {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	cdf[n-1] = 1
+	return cdf
 }
 
 // Pick returns a uniformly selected element of choices.

@@ -123,6 +123,97 @@ func TestUniformProperty(t *testing.T) {
 	}
 }
 
+func TestZipfRange(t *testing.T) {
+	g := NewRNG(11)
+	for i := 0; i < 10000; i++ {
+		k := g.Zipf(17, 1.1)
+		if k < 0 || k >= 17 {
+			t.Fatalf("Zipf rank out of range: %d", k)
+		}
+	}
+	if g.Zipf(1, 2.0) != 0 {
+		t.Fatal("Zipf over one rank must return 0")
+	}
+}
+
+// TestZipfFrequencySlope checks the defining shape claim over fixed
+// seeds: on a log-log plot of frequency against rank, the sampled
+// distribution's least-squares slope is ≈ -s.
+func TestZipfFrequencySlope(t *testing.T) {
+	for _, s := range []float64{0.8, 1.0, 1.4} {
+		const n = 40
+		const draws = 400000
+		g := NewRNG(12)
+		counts := make([]float64, n)
+		for i := 0; i < draws; i++ {
+			counts[g.Zipf(n, s)]++
+		}
+		// Regress log(count) on log(rank+1) over the well-sampled head.
+		var sx, sy, sxx, sxy float64
+		m := 0
+		for k := 0; k < n/2; k++ {
+			if counts[k] < 50 {
+				break
+			}
+			x, y := math.Log(float64(k+1)), math.Log(counts[k])
+			sx += x
+			sy += y
+			sxx += x * x
+			sxy += x * y
+			m++
+		}
+		if m < 5 {
+			t.Fatalf("s=%v: only %d well-sampled ranks", s, m)
+		}
+		slope := (float64(m)*sxy - sx*sy) / (float64(m)*sxx - sx*sx)
+		if math.Abs(slope+s) > 0.08 {
+			t.Fatalf("s=%v: frequency-rank slope %.3f, want ≈ %.3f", s, slope, -s)
+		}
+	}
+}
+
+func TestZipfUniformWhenExponentZero(t *testing.T) {
+	g := NewRNG(13)
+	const n = 8
+	const draws = 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[g.Zipf(n, 0)]++
+	}
+	for k, c := range counts {
+		if math.Abs(float64(c)-draws/n) > 0.05*draws/n {
+			t.Fatalf("s=0 rank %d count %d, want ≈ %d", k, c, draws/n)
+		}
+	}
+}
+
+// TestZipfForkStability pins the reproducibility the lab pool depends
+// on: a Fork-derived generator draws the same Zipf sequence regardless
+// of the parent's history, and regardless of which other (n, s) pairs
+// the generator sampled before (the CDF cache must not leak state).
+func TestZipfForkStability(t *testing.T) {
+	a := NewRNG(14)
+	b := NewRNG(14)
+	for i := 0; i < 37; i++ {
+		a.Float64()
+		a.Zipf(9, 0.7) // perturb a's cache too
+	}
+	fa := a.Fork("population")
+	fb := b.Fork("population")
+	for i := 0; i < 1000; i++ {
+		if fa.Zipf(100, 1.2) != fb.Zipf(100, 1.2) {
+			t.Fatalf("draw %d: forked Zipf streams diverged", i)
+		}
+	}
+	// Alternating parameters rebuilds the cache but consumes exactly one
+	// uniform per draw, so the streams must still agree.
+	for i := 0; i < 200; i++ {
+		if fa.Zipf(10, 0.5) != fb.Zipf(10, 0.5) || fa.Zipf(50, 1.5) != fb.Zipf(50, 1.5) {
+			t.Fatalf("draw %d: Zipf cache rebuild perturbed the stream", i)
+		}
+	}
+}
+
 func TestBoolProbabilityExtremes(t *testing.T) {
 	g := NewRNG(10)
 	for i := 0; i < 100; i++ {

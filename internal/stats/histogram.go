@@ -50,7 +50,7 @@ type Bin struct {
 // Bins returns the non-empty bins in ascending order.
 func (h *Histogram) Bins() []Bin {
 	keys := make([]int64, 0, len(h.bins))
-	for k := range h.bins {
+	for k := range h.bins { //ctmsvet:allow determinism keys are sorted immediately below, so output order is independent of map iteration order
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })

@@ -92,6 +92,12 @@ func Build(spec Spec) (*Network, error) {
 		return nil, err
 	}
 	spec = spec.withDefaults()
+	if spec.Population != nil {
+		// Full-slice expression: the census must not scribble on the
+		// caller's Streams backing array.
+		spec.Streams = append(spec.Streams[:len(spec.Streams):len(spec.Streams)],
+			expandPopulation(spec)...)
+	}
 
 	n := &Network{spec: spec}
 	n.window = spec.Duration

@@ -42,12 +42,14 @@ func randomSpec(seed int64) Spec {
 	classes := []session.Class{session.ClassBackground, session.ClassStandard, session.ClassInteractive}
 	for i, streams := 0, 2+r.Intn(5); i < streams; i++ {
 		spec.Streams = append(spec.Streams, StreamSpec{
-			Name:        fmt.Sprintf("s%d", i),
-			SrcRing:     r.Intn(rings),
-			DstRing:     r.Intn(rings),
-			PacketBytes: 60 + r.Intn(900),
-			Interval:    sim.Time(6+r.Intn(25)) * sim.Millisecond,
-			Class:       classes[r.Intn(len(classes))],
+			StreamSpec: session.StreamSpec{
+				Name:        fmt.Sprintf("s%d", i),
+				PacketBytes: 60 + r.Intn(900),
+				Interval:    sim.Time(6+r.Intn(25)) * sim.Millisecond,
+				Class:       classes[r.Intn(len(classes))],
+			},
+			SrcRing: r.Intn(rings),
+			DstRing: r.Intn(rings),
 		})
 	}
 	for i, bursts := 0, r.Intn(3); i < bursts; i++ {

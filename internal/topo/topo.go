@@ -24,7 +24,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/session"
 	"repro/internal/sim"
-	"repro/internal/tradapter"
+	"repro/internal/workload"
 )
 
 // Defaults for the zero-valued Spec knobs.
@@ -59,22 +59,21 @@ type LinkSpec struct {
 }
 
 // StreamSpec describes one CTMSP stream between two rings (SrcRing may
-// equal DstRing for a local control stream).
+// equal DstRing for a local control stream). The stream shape — name,
+// packet size, interval, admission class — is the session layer's
+// spec, embedded rather than duplicated so the two layers cannot
+// drift; topo adds only the ring endpoints. The promoted OfferedBits
+// is the per-ring bandwidth the stream reserves on every hop of its
+// path.
 type StreamSpec struct {
-	Name        string
-	SrcRing     int
-	DstRing     int
-	PacketBytes int
-	Interval    sim.Time
-	Class       session.Class
+	session.StreamSpec
+	SrcRing int
+	DstRing int
 }
 
-// OfferedBits is the per-ring bandwidth the stream reserves on every hop
-// of its path: packet plus Token Ring framing, every Interval.
-func (s StreamSpec) OfferedBits() int64 {
-	wire := s.PacketBytes + tradapter.RingOverhead
-	return int64(float64(wire*8) / s.Interval.Seconds())
-}
+// SessionSpec returns the embedded session-layer stream shape — the
+// conversion shim for callers that held the old duplicated struct.
+func (s StreamSpec) SessionSpec() session.StreamSpec { return s.StreamSpec }
 
 // BurstSpec injects Count back-to-back frames from a dedicated host on
 // SrcRing to a sink on DstRing — cross-ring pressure for overflow tests:
@@ -124,6 +123,19 @@ type Spec struct {
 	Streams    []StreamSpec
 	Bursts     []BurstSpec
 	Insertions []InsertionSpec
+
+	// Population, when non-nil, adds a statistical stream population on
+	// top of Streams. Unlike the session layer — where arrivals are
+	// admitted live as they fire — topo admission happens exactly once,
+	// while Build constructs the machinery (the conservative-window
+	// engine has no cross-shard admission channel at run time), so the
+	// population is expanded at Build into a static census: the streams
+	// alive at the run's midpoint, each title Zipf-drawn and homed on
+	// ring title mod Rings, each source ring drawn uniformly (falling
+	// back to a local stream when no path exists). The expansion is a
+	// pure function of (Seed, Population, Rings), so the serial-vs-shard
+	// fingerprint oracle covers population runs unchanged.
+	Population *workload.PopulationSpec
 }
 
 func (s Spec) withDefaults() Spec {
@@ -211,7 +223,56 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("topo: insertion %d at %v outside the run", i, ins.At)
 		}
 	}
+	if s.Population != nil {
+		if err := s.Population.Validate(); err != nil {
+			return fmt.Errorf("topo: %w", err)
+		}
+		// The workload layer only requires positive packet sizes; the
+		// expanded streams must also fit topo's CTMSP frame bounds.
+		for i, cc := range s.Population.WithDefaults().Classes {
+			if cc.PacketBytes <= ctmsp.HeaderSize || cc.PacketBytes > 4000 {
+				return fmt.Errorf("topo: population class %d (%s): packet size %d out of (%d,4000]",
+					i, cc.Name, cc.PacketBytes, ctmsp.HeaderSize)
+			}
+		}
+	}
 	return nil
+}
+
+// expandPopulation compiles the spec's population and returns the static
+// census Build admits: every compiled arrival alive at the run midpoint,
+// as full StreamSpecs. Draws come from a dedicated salt-mixed seed, so
+// the census depends only on (Seed, Population, Rings, Duration).
+func expandPopulation(s Spec) []StreamSpec {
+	pop := s.Population.WithDefaults()
+	rng := sim.NewRNG(mixSeed(s.Seed, saltPopulation))
+	reach := reachability(s.Rings, s.Links)
+	census := sim.Time(s.Duration / 2)
+	var out []StreamSpec
+	for _, a := range pop.Compile(rng, s.Duration) {
+		if a.At > census || a.DepartAt <= census {
+			continue
+		}
+		cc := pop.Classes[a.Class]
+		dst := a.Title % s.Rings
+		src := rng.Intn(s.Rings)
+		if !reach[src][dst] {
+			// No bridge path from the drawn viewer to the title's home
+			// ring: model a local replica instead of dropping the viewer.
+			dst = src
+		}
+		out = append(out, StreamSpec{
+			StreamSpec: session.StreamSpec{
+				Name:        fmt.Sprintf("pop-%03d-%s", len(out), cc.Name),
+				PacketBytes: cc.PacketBytes,
+				Interval:    cc.Interval,
+				Class:       session.Class(cc.Priority),
+			},
+			SrcRing: src,
+			DstRing: dst,
+		})
+	}
+	return out
 }
 
 // reachability computes the transitive ring-to-ring connectivity.
@@ -259,4 +320,6 @@ const (
 	saltHalf   = 0x0200_0000
 	saltStream = 0x0400_0000
 	saltBurst  = 0x0800_0000
+	// saltPopulation seeds the population census expansion.
+	saltPopulation = 0x1000_0000
 )

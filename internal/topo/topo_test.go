@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/session"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // twoRingSpec is the smallest interesting internetwork: one bridge, one
@@ -18,8 +19,9 @@ func twoRingSpec() Spec {
 		Rings:    2,
 		Links:    []LinkSpec{{A: 0, B: 1}},
 		Streams: []StreamSpec{
-			{Name: "voice", SrcRing: 0, DstRing: 1, PacketBytes: 200,
+			{StreamSpec: session.StreamSpec{Name: "voice", PacketBytes: 200,
 				Interval: 12 * sim.Millisecond, Class: session.ClassInteractive},
+				SrcRing: 0, DstRing: 1},
 		},
 	}
 }
@@ -64,8 +66,9 @@ func TestMultiHopPathAndAdmission(t *testing.T) {
 		Rings:    3,
 		Links:    []LinkSpec{{A: 0, B: 1}, {A: 1, B: 2}},
 		Streams: []StreamSpec{
-			{Name: "far", SrcRing: 0, DstRing: 2, PacketBytes: 200,
+			{StreamSpec: session.StreamSpec{Name: "far", PacketBytes: 200,
 				Interval: 12 * sim.Millisecond, Class: session.ClassStandard},
+				SrcRing: 0, DstRing: 2},
 		},
 	}
 	n, err := Build(spec)
@@ -108,10 +111,12 @@ func TestAdmissionNamesRefusingHop(t *testing.T) {
 		Links:    []LinkSpec{{A: 0, B: 1}, {A: 1, B: 2}},
 		// One fat local stream on ring 1 eats its budget first.
 		Streams: []StreamSpec{
-			{Name: "hog", SrcRing: 1, DstRing: 1, PacketBytes: 4000,
+			{StreamSpec: session.StreamSpec{Name: "hog", PacketBytes: 4000,
 				Interval: 12 * sim.Millisecond, Class: session.ClassInteractive},
-			{Name: "through", SrcRing: 0, DstRing: 2, PacketBytes: 4000,
+				SrcRing: 1, DstRing: 1},
+			{StreamSpec: session.StreamSpec{Name: "through", PacketBytes: 4000,
 				Interval: 12 * sim.Millisecond, Class: session.ClassStandard},
+				SrcRing: 0, DstRing: 2},
 		},
 	}
 	n, err := Build(spec)
@@ -180,4 +185,67 @@ func TestRunIsSingleShot(t *testing.T) {
 		}
 	}()
 	n.Run(1)
+}
+
+// popSpec is a four-ring line carrying a population census on top of a
+// couple of hand-written streams.
+func popSpec() Spec {
+	return Spec{
+		Name:     "pop-census",
+		Seed:     1991,
+		Duration: 2 * sim.Second,
+		Rings:    4,
+		Links:    []LinkSpec{{A: 0, B: 1}, {A: 1, B: 2}, {A: 2, B: 3}},
+		Streams: []StreamSpec{
+			{StreamSpec: session.StreamSpec{Name: "voice", PacketBytes: 200,
+				Interval: 12 * sim.Millisecond, Class: session.ClassInteractive},
+				SrcRing: 0, DstRing: 3},
+		},
+		Population: &workload.PopulationSpec{
+			ArrivalsPerSec: 20,
+			ZipfSkew:       1.0,
+			Titles:         12,
+			ChurnHalfLife:  sim.Second,
+		},
+	}
+}
+
+func TestPopulationCensusExpansion(t *testing.T) {
+	n, err := Build(popSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := n.Run(1)
+	// Hand-written stream plus a census: rate 20/s with a 1 s half-life
+	// keeps ~29 streams alive at any instant; demand a healthy floor.
+	if len(res.Streams) < 10 {
+		t.Fatalf("census expanded to only %d streams", len(res.Streams)-1)
+	}
+	admitted := 0
+	for _, s := range res.Streams {
+		if s.Decision.Admitted {
+			admitted++
+		}
+	}
+	if admitted == 0 {
+		t.Fatal("no census stream admitted")
+	}
+}
+
+func TestPopulationCensusShardOracle(t *testing.T) {
+	spec := popSpec()
+	run := func(workers int) string {
+		n, err := Build(spec)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return n.Run(workers).Fingerprint()
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4} {
+		if got := run(workers); got != want {
+			t.Fatalf("population run diverged at %d workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				workers, want, got)
+		}
+	}
 }

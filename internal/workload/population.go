@@ -1,0 +1,235 @@
+// Population layer: the statistical workload axis the ROADMAP's
+// "millions of users" question needs. Instead of enumerating streams by
+// hand, a PopulationSpec describes a whole user population — Poisson
+// stream arrivals with piecewise diurnal modulation, exponential
+// lifetimes (churn), Zipf-skewed demand across titles, and a weighted
+// codec-class mix — and Compile turns it into a concrete, fully
+// deterministic arrival schedule the session and topo layers replay
+// through their schedulers. Precomputing the schedule up front (rather
+// than drawing lazily inside event handlers) is what keeps a population
+// run bit-identical across lab-pool parallelism and shard counts: the
+// draws depend only on (seed, spec), never on event interleaving.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sim"
+)
+
+// DefaultChurnHalfLife is the stream-lifetime half-life when a spec
+// leaves ChurnHalfLife zero: half the admitted streams are gone after
+// this much simulated time.
+const DefaultChurnHalfLife = 5 * sim.Second
+
+// maxCompiledArrivals bounds a runaway spec (an arrival rate in the
+// millions against a long duration) when MaxStreams is left zero.
+const maxCompiledArrivals = 100_000
+
+// CodecClass is one entry of a population's codec mix: the stream shape
+// every arrival of this class runs, its admission priority, and the
+// probability weight of drawing it.
+type CodecClass struct {
+	// Name labels streams of this class in results.
+	Name string
+	// PacketBytes per packet (CTMSP header included), sent every
+	// Interval — the session.StreamSpec shape.
+	PacketBytes int
+	Interval    sim.Time
+	// Priority is the admission class ordinal (session.Class: 0 =
+	// background, 1 = standard, 2 = interactive). An int rather than
+	// session.Class because session imports workload.
+	Priority int
+	// Weight is the class's relative draw probability (any positive
+	// scale; weights are normalized over the mix).
+	Weight float64
+}
+
+// PopulationSpec is the compact statistical description of a stream
+// population.
+type PopulationSpec struct {
+	// ArrivalsPerSec is the mean Poisson stream-arrival rate before
+	// diurnal modulation.
+	ArrivalsPerSec float64
+	// ZipfSkew is the exponent s of the title popularity distribution:
+	// title k is requested with probability ∝ 1/(k+1)^s. Zero spreads
+	// demand uniformly.
+	ZipfSkew float64
+	// Titles is the catalog size demand is skewed over (0 = 1).
+	Titles int
+	// ChurnHalfLife is the stream-lifetime half-life: lifetimes are
+	// exponential with mean ChurnHalfLife/ln 2 (0 = DefaultChurnHalfLife).
+	ChurnHalfLife sim.Time
+	// Classes is the codec mix (empty = one 500-byte/12 ms standard
+	// class, the paper's 150 KB/s stream shape scaled to its budget).
+	Classes []CodecClass
+	// Diurnal divides the run into equal segments and multiplies the
+	// arrival rate by the segment's entry — a piecewise "time of day"
+	// curve. Empty means a flat rate. Entries must be non-negative.
+	Diurnal []float64
+	// StormAt triggers a correlated insertion storm (StormInsertions
+	// back-to-back station insertions) at the given offset; zero
+	// disables. This is the capacity shock that makes shed fairness
+	// observable under skew.
+	StormAt         sim.Time
+	StormInsertions int
+	// MaxStreams caps the compiled arrival count (0 = a safety cap of
+	// 100000).
+	MaxStreams int
+}
+
+// Arrival is one compiled stream: when it arrives, when it hangs up,
+// what it watches and how.
+type Arrival struct {
+	// At is the arrival offset; DepartAt is the hang-up offset (it may
+	// exceed the run duration, in which case the stream runs to the end).
+	At       sim.Time
+	DepartAt sim.Time
+	// Title is the Zipf-drawn catalog rank in [0, Titles).
+	Title int
+	// Class indexes the spec's Classes mix.
+	Class int
+}
+
+// DefaultCodecMix is the class table used when a spec leaves Classes
+// empty: mostly standard playback, a sliver of interactive voice and of
+// background prefetch, shaped like the paper's streams.
+func DefaultCodecMix() []CodecClass {
+	return []CodecClass{
+		{Name: "playback", PacketBytes: 500, Interval: 12 * sim.Millisecond, Priority: 1, Weight: 0.70},
+		{Name: "voice", PacketBytes: 200, Interval: 12 * sim.Millisecond, Priority: 2, Weight: 0.20},
+		{Name: "prefetch", PacketBytes: 1000, Interval: 24 * sim.Millisecond, Priority: 0, Weight: 0.10},
+	}
+}
+
+// WithDefaults returns the spec with zero-valued knobs resolved, the
+// view Compile samples from and the session layer builds streams from.
+func (p PopulationSpec) WithDefaults() PopulationSpec {
+	if p.Titles == 0 {
+		p.Titles = 1
+	}
+	if p.ChurnHalfLife == 0 {
+		p.ChurnHalfLife = DefaultChurnHalfLife
+	}
+	if len(p.Classes) == 0 {
+		p.Classes = DefaultCodecMix()
+	}
+	if p.MaxStreams == 0 {
+		p.MaxStreams = maxCompiledArrivals
+	}
+	return p
+}
+
+// Validate reports specification mistakes with the valid range spelled
+// out, before any schedule is compiled.
+func (p PopulationSpec) Validate() error {
+	switch {
+	case p.ArrivalsPerSec <= 0:
+		return fmt.Errorf("population: arrivals-per-sec must be positive, got %v", p.ArrivalsPerSec)
+	case p.ZipfSkew < 0 || p.ZipfSkew > 4:
+		return fmt.Errorf("population: zipf skew %v out of [0,4]", p.ZipfSkew)
+	case p.Titles < 0:
+		return fmt.Errorf("population: title count must be non-negative, got %d", p.Titles)
+	case p.ChurnHalfLife < 0:
+		return fmt.Errorf("population: churn half-life must be non-negative, got %v", p.ChurnHalfLife)
+	case p.MaxStreams < 0:
+		return fmt.Errorf("population: max streams must be non-negative, got %d", p.MaxStreams)
+	case p.StormAt < 0:
+		return fmt.Errorf("population: storm offset must be non-negative, got %v", p.StormAt)
+	case p.StormInsertions < 0:
+		return fmt.Errorf("population: storm insertions must be non-negative, got %d", p.StormInsertions)
+	}
+	totalWeight := 0.0
+	for i, cc := range p.Classes {
+		switch {
+		case cc.PacketBytes <= 0:
+			return fmt.Errorf("population: class %d (%s): packet bytes must be positive, got %d", i, cc.Name, cc.PacketBytes)
+		case cc.Interval <= 0:
+			return fmt.Errorf("population: class %d (%s): interval must be positive, got %v", i, cc.Name, cc.Interval)
+		case cc.Priority < 0 || cc.Priority > 2:
+			return fmt.Errorf("population: class %d (%s): priority %d out of [0,2] (0=background, 1=standard, 2=interactive)", i, cc.Name, cc.Priority)
+		case cc.Weight < 0:
+			return fmt.Errorf("population: class %d (%s): weight must be non-negative, got %v", i, cc.Name, cc.Weight)
+		}
+		totalWeight += cc.Weight
+	}
+	if len(p.Classes) > 0 && totalWeight <= 0 {
+		return fmt.Errorf("population: class mix needs at least one positive weight")
+	}
+	for i, m := range p.Diurnal {
+		if m < 0 || math.IsNaN(m) || math.IsInf(m, 0) {
+			return fmt.Errorf("population: diurnal segment %d multiplier %v must be a finite non-negative number", i, m)
+		}
+	}
+	return nil
+}
+
+// Compile turns the spec into the concrete arrival schedule for one run
+// of the given duration. The schedule is a pure function of (rng seed,
+// spec, duration): arrivals are drawn as a homogeneous Poisson process
+// at the peak diurnal rate and thinned to the local rate (the standard
+// exact sampler for inhomogeneous processes), lifetimes are exponential
+// with mean ChurnHalfLife/ln 2, titles are Zipf draws and classes are
+// weighted picks. Callers schedule the returned events; Compile itself
+// never touches a scheduler.
+func (p PopulationSpec) Compile(rng *sim.RNG, duration sim.Time) []Arrival {
+	sim.Checkf(duration > 0, "population: compile needs a positive duration")
+	p = p.WithDefaults()
+
+	peak := 1.0
+	for _, m := range p.Diurnal {
+		if m > peak {
+			peak = m
+		}
+	}
+	meanGap := sim.Time(float64(sim.Second) / (p.ArrivalsPerSec * peak))
+	sim.Checkf(meanGap > 0, "population: arrival rate %v too high to schedule", p.ArrivalsPerSec)
+	// Exponential lifetimes with the requested half-life: mean = T½/ln 2.
+	meanLife := sim.Time(float64(p.ChurnHalfLife) / math.Ln2)
+
+	var out []Arrival
+	for t := rng.Exp(meanGap); t < duration && len(out) < p.MaxStreams; t += rng.Exp(meanGap) {
+		// Thinning: keep the candidate with probability local/peak. The
+		// rejected candidate still consumed its draws, so the kept set is
+		// independent of how other segments modulate.
+		if mult := p.diurnalMult(t, duration); !rng.Bool(mult / peak) {
+			continue
+		}
+		out = append(out, Arrival{
+			At:       t,
+			DepartAt: t + rng.Exp(meanLife),
+			Title:    rng.Zipf(p.Titles, p.ZipfSkew),
+			Class:    p.pickClass(rng),
+		})
+	}
+	return out
+}
+
+// diurnalMult evaluates the piecewise curve at offset t.
+func (p PopulationSpec) diurnalMult(t, duration sim.Time) float64 {
+	if len(p.Diurnal) == 0 {
+		return 1
+	}
+	seg := int(int64(t) * int64(len(p.Diurnal)) / int64(duration))
+	if seg >= len(p.Diurnal) {
+		seg = len(p.Diurnal) - 1
+	}
+	return p.Diurnal[seg]
+}
+
+// pickClass draws a codec class index by weight.
+func (p PopulationSpec) pickClass(rng *sim.RNG) int {
+	total := 0.0
+	for _, cc := range p.Classes {
+		total += cc.Weight
+	}
+	u := rng.Float64() * total
+	for i, cc := range p.Classes {
+		u -= cc.Weight
+		if u < 0 {
+			return i
+		}
+	}
+	return len(p.Classes) - 1
+}

@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestPopulationCompileDeterministic(t *testing.T) {
+	spec := PopulationSpec{
+		ArrivalsPerSec: 20,
+		ZipfSkew:       1.1,
+		Titles:         32,
+		ChurnHalfLife:  2 * sim.Second,
+		Diurnal:        []float64{0.5, 1.5, 1.0},
+	}
+	a := spec.Compile(sim.NewRNG(99).Fork("population"), 30*sim.Second)
+	b := spec.Compile(sim.NewRNG(99).Fork("population"), 30*sim.Second)
+	if len(a) == 0 {
+		t.Fatal("compiled no arrivals")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPopulationCompileShape(t *testing.T) {
+	spec := PopulationSpec{ArrivalsPerSec: 50, ZipfSkew: 1.0, Titles: 20}
+	dur := 60 * sim.Second
+	arrivals := spec.Compile(sim.NewRNG(7), dur)
+
+	// Poisson count: mean 3000, so ±10% is ~5.5 sigma.
+	if n := len(arrivals); math.Abs(float64(n)-3000) > 300 {
+		t.Fatalf("arrival count %d far from the offered 3000", n)
+	}
+	last := sim.Time(0)
+	titleCounts := make([]int, 20)
+	for i, a := range arrivals {
+		if a.At < last || a.At >= dur {
+			t.Fatalf("arrival %d at %v out of order or out of range", i, a.At)
+		}
+		last = a.At
+		if a.DepartAt <= a.At {
+			t.Fatalf("arrival %d departs at %v before arriving at %v", i, a.DepartAt, a.At)
+		}
+		if a.Title < 0 || a.Title >= 20 {
+			t.Fatalf("arrival %d title %d out of range", i, a.Title)
+		}
+		titleCounts[a.Title]++
+		if a.Class < 0 || a.Class >= len(DefaultCodecMix()) {
+			t.Fatalf("arrival %d class %d out of range", i, a.Class)
+		}
+	}
+	// Zipf skew: the head title must dominate the tail.
+	if titleCounts[0] <= titleCounts[19]*2 {
+		t.Fatalf("no skew: title 0 seen %d, title 19 seen %d", titleCounts[0], titleCounts[19])
+	}
+
+	// Mean lifetime ≈ half-life / ln 2 (default 5 s → ~7.2 s).
+	var lifeSum float64
+	for _, a := range arrivals {
+		lifeSum += float64(a.DepartAt - a.At)
+	}
+	meanLife := lifeSum / float64(len(arrivals))
+	wantLife := float64(DefaultChurnHalfLife) / math.Ln2
+	if math.Abs(meanLife-wantLife) > 0.1*wantLife {
+		t.Fatalf("mean lifetime %v, want ≈ %v", sim.Time(meanLife), sim.Time(wantLife))
+	}
+}
+
+func TestPopulationDiurnalThinning(t *testing.T) {
+	spec := PopulationSpec{ArrivalsPerSec: 40, Diurnal: []float64{0.2, 1.8}}
+	dur := 60 * sim.Second
+	arrivals := spec.Compile(sim.NewRNG(21), dur)
+	firstHalf := 0
+	for _, a := range arrivals {
+		if a.At < dur/2 {
+			firstHalf++
+		}
+	}
+	secondHalf := len(arrivals) - firstHalf
+	// Offered ratio is 9:1 toward the second half; allow wide slack.
+	if secondHalf < 4*firstHalf {
+		t.Fatalf("diurnal curve not honored: %d arrivals in the quiet half, %d in the busy half",
+			firstHalf, secondHalf)
+	}
+}
+
+func TestPopulationMaxStreamsCap(t *testing.T) {
+	spec := PopulationSpec{ArrivalsPerSec: 1000, MaxStreams: 25}
+	arrivals := spec.Compile(sim.NewRNG(3), sim.Minute)
+	if len(arrivals) != 25 {
+		t.Fatalf("cap not applied: %d arrivals", len(arrivals))
+	}
+}
+
+func TestPopulationValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		spec PopulationSpec
+		want string
+	}{
+		{"no rate", PopulationSpec{}, "arrivals-per-sec"},
+		{"skew", PopulationSpec{ArrivalsPerSec: 1, ZipfSkew: 9}, "zipf skew"},
+		{"titles", PopulationSpec{ArrivalsPerSec: 1, Titles: -1}, "title count"},
+		{"half-life", PopulationSpec{ArrivalsPerSec: 1, ChurnHalfLife: -sim.Second}, "churn half-life"},
+		{"class bytes", PopulationSpec{ArrivalsPerSec: 1,
+			Classes: []CodecClass{{Interval: sim.Millisecond, Weight: 1}}}, "packet bytes"},
+		{"class priority", PopulationSpec{ArrivalsPerSec: 1,
+			Classes: []CodecClass{{PacketBytes: 500, Interval: sim.Millisecond, Priority: 5, Weight: 1}}}, "[0,2]"},
+		{"weights", PopulationSpec{ArrivalsPerSec: 1,
+			Classes: []CodecClass{{PacketBytes: 500, Interval: sim.Millisecond}}}, "positive weight"},
+		{"diurnal", PopulationSpec{ArrivalsPerSec: 1, Diurnal: []float64{1, -2}}, "diurnal segment 1"},
+	}
+	for _, tc := range cases {
+		err := tc.spec.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	ok := PopulationSpec{ArrivalsPerSec: 8, ZipfSkew: 1.2, Titles: 64,
+		ChurnHalfLife: 3 * sim.Second, Diurnal: []float64{0.5, 1.5}}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}

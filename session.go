@@ -7,6 +7,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/session"
 	"repro/internal/sim"
+	"repro/internal/workload"
 )
 
 // StreamClass is a stream's priority class. Admission bookkeeping,
@@ -43,6 +44,107 @@ type StreamSpec struct {
 	Class       StreamClass
 }
 
+// CodecClass is one entry of a population's codec mix: the stream shape
+// every arrival of this class runs, its admission class, and the
+// relative probability of drawing it.
+type CodecClass struct {
+	// Name labels streams of this class in results.
+	Name string
+	// PacketBytes per packet (CTMSP header included), sent every
+	// Interval.
+	PacketBytes int
+	Interval    time.Duration
+	// Class is the admission/shed priority ("background", "standard",
+	// "interactive"; empty means standard).
+	Class StreamClass
+	// Weight is the class's relative draw probability (any positive
+	// scale; weights are normalized over the mix).
+	Weight float64
+}
+
+// PopulationSpec describes a statistical stream population instead of a
+// hand-enumerated list: Poisson arrivals (ArrivalsPerSec, shaped by the
+// piecewise Diurnal curve), exponential lifetimes (ChurnHalfLife),
+// demand Zipf-skewed across Titles, and a weighted codec mix. A session
+// with a population compiles the whole arrival schedule from the seed
+// before running — same options, same population, at any parallelism —
+// and records the playout-latency distribution of every delivered
+// packet.
+type PopulationSpec struct {
+	// ArrivalsPerSec is the mean Poisson stream-arrival rate before
+	// diurnal modulation. Required.
+	ArrivalsPerSec float64
+	// ZipfSkew is the exponent s of the title popularity distribution
+	// (title k drawn with probability ∝ 1/(k+1)^s); 0 is uniform.
+	ZipfSkew float64
+	// Titles is the catalog size demand is skewed over (0 = 1).
+	Titles int
+	// ChurnHalfLife is the stream-lifetime half-life: half the admitted
+	// streams hang up within it (0 = 5 s).
+	ChurnHalfLife time.Duration
+	// Classes is the codec mix (empty = mostly standard playback with a
+	// sliver of interactive voice and background prefetch).
+	Classes []CodecClass
+	// Diurnal divides the run into equal segments and multiplies the
+	// arrival rate by each segment's entry; empty means a flat rate.
+	Diurnal []float64
+	// StormAt triggers StormInsertions back-to-back station insertions
+	// at the given offset (a correlated capacity shock); zero disables.
+	StormAt         time.Duration
+	StormInsertions int
+	// MaxStreams caps the compiled arrival count (0 = 100000).
+	MaxStreams int
+}
+
+// toInternal converts to the workload layer's spec, translating class
+// names with the same table Add uses (unknown spellings get the full
+// list of valid ones).
+func (p *PopulationSpec) toInternal() (*workload.PopulationSpec, error) {
+	if p == nil {
+		return nil, nil
+	}
+	out := &workload.PopulationSpec{
+		ArrivalsPerSec:  p.ArrivalsPerSec,
+		ZipfSkew:        p.ZipfSkew,
+		Titles:          p.Titles,
+		ChurnHalfLife:   sim.Time(p.ChurnHalfLife),
+		Diurnal:         p.Diurnal,
+		StormAt:         sim.Time(p.StormAt),
+		StormInsertions: p.StormInsertions,
+		MaxStreams:      p.MaxStreams,
+	}
+	for i, cc := range p.Classes {
+		class, err := classTable.toCore(cc.Class)
+		if err != nil {
+			return nil, fmt.Errorf("ctms: population class %d (%s): %w", i, cc.Name, err)
+		}
+		out.Classes = append(out.Classes, workload.CodecClass{
+			Name:        cc.Name,
+			PacketBytes: cc.PacketBytes,
+			Interval:    sim.Time(cc.Interval),
+			Priority:    int(class),
+			Weight:      cc.Weight,
+		})
+	}
+	return out, nil
+}
+
+// Validate reports specification mistakes — bad ranges, unknown class
+// spellings — with the valid values spelled out.
+func (p *PopulationSpec) Validate() error {
+	internal, err := p.toInternal()
+	if err != nil {
+		return err
+	}
+	if internal == nil {
+		return nil
+	}
+	if err := internal.Validate(); err != nil {
+		return fmt.Errorf("ctms: %w", err)
+	}
+	return nil
+}
+
 // SessionOptions configures a multi-stream Session. The zero value plus a
 // Duration is runnable: the paper's 4 Mbit/s ring, a 90% admission cap,
 // no background load.
@@ -69,6 +171,20 @@ type SessionOptions struct {
 	// PlayoutPrebuffer delays each stream's playback after its first
 	// packet (0 = the §6 default of 40 ms; 130 ms rides out an insertion).
 	PlayoutPrebuffer time.Duration
+
+	// Population, when non-nil, adds a statistical stream population on
+	// top of any streams offered with Add: arrivals are admitted live at
+	// their Poisson arrival instants and hang up at their churn-drawn
+	// departures. Population runs fill SessionResult.Departed and the
+	// playout-latency quantiles.
+	Population *PopulationSpec
+}
+
+// Validate reports whether the options would build a runnable session,
+// without building one.
+func (o SessionOptions) Validate() error {
+	_, err := NewSession(o)
+	return err
 }
 
 // Admission is the controller's verdict on one stream, available from
@@ -94,6 +210,15 @@ type SessionStream struct {
 	Shed   bool
 	ShedAt time.Duration
 
+	// Population accounting: Arrived marks a churn-generated stream (at
+	// ArrivedAt, watching Zipf-drawn catalog rank Title); Departed marks
+	// a natural hang-up at DepartedAt, as opposed to a policy shed.
+	Arrived    bool
+	ArrivedAt  time.Duration
+	Title      int
+	Departed   bool
+	DepartedAt time.Duration
+
 	Sent      uint64
 	Delivered uint64
 	Lost      uint64
@@ -112,6 +237,14 @@ type SessionResult struct {
 	Admitted int
 	Rejected int
 	Shed     int
+	// Departed counts population streams that hung up naturally (churn).
+	Departed int
+
+	// PlayoutLatencyP99/P999 are tail quantiles of every delivered
+	// packet's delay past its nominal capture schedule; zero unless the
+	// session ran a population.
+	PlayoutLatencyP99  time.Duration
+	PlayoutLatencyP999 time.Duration
 
 	RingUtilization float64
 	// ReservedBits is the bandwidth still reserved when the run ended
@@ -158,6 +291,10 @@ type Session struct {
 
 // NewSession validates the options and prepares an empty session.
 func NewSession(opts SessionOptions) (*Session, error) {
+	pop, err := opts.Population.toInternal()
+	if err != nil {
+		return nil, err
+	}
 	cfg := session.Config{
 		Name:             opts.Name,
 		Seed:             opts.Seed,
@@ -168,6 +305,7 @@ func NewSession(opts SessionOptions) (*Session, error) {
 		DisableAdmission: opts.DisableAdmission,
 		ForceInsertionAt: sim.Time(opts.ForceInsertionAt),
 		PlayoutPrebuffer: sim.Time(opts.PlayoutPrebuffer),
+		Population:       pop,
 	}
 	// Validate everything but the streams (none yet): run the config
 	// checks against a placeholder stream, which always validates.
@@ -244,9 +382,14 @@ func (s *Session) Run() (*SessionResult, error) {
 		Admitted:        res.Admitted,
 		Rejected:        res.Rejected,
 		Shed:            res.ShedN,
+		Departed:        res.Departed,
 		RingUtilization: res.RingUtilization,
 		ReservedBits:    res.ReservedBitsEnd,
 		Report:          res.Report(),
+	}
+	if res.PlayoutLatency != nil && res.PlayoutLatency.N() > 0 {
+		out.PlayoutLatencyP99 = time.Duration(res.PlayoutLatency.Quantile(0.99)) * time.Microsecond
+		out.PlayoutLatencyP999 = time.Duration(res.PlayoutLatency.Quantile(0.999)) * time.Microsecond
 	}
 	for _, st := range res.Streams {
 		out.Streams = append(out.Streams, SessionStream{
@@ -263,6 +406,11 @@ func (s *Session) Run() (*SessionResult, error) {
 			},
 			Shed:              st.Shed,
 			ShedAt:            st.ShedAt.Std(),
+			Arrived:           st.Arrived,
+			ArrivedAt:         st.ArrivedAt.Std(),
+			Title:             st.Title,
+			Departed:          st.Departed,
+			DepartedAt:        st.DepartedAt.Std(),
 			Sent:              st.Sent,
 			Delivered:         st.Delivered,
 			Lost:              st.Lost,

@@ -1,0 +1,174 @@
+package ctms
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+)
+
+// SessionOptions marshals to a JSON scenario document the same way
+// Options does: durations render as Go duration strings ("12ms") and
+// parse from either that form or a bare nanosecond count; unknown
+// fields are rejected so a typoed knob fails loudly. The population
+// block nests under "population", with the codec mix under "classes".
+
+// codecClassJSON mirrors CodecClass for scenario files.
+type codecClassJSON struct {
+	Name        string       `json:"name"`
+	PacketBytes int          `json:"packet_bytes"`
+	Interval    jsonDuration `json:"interval"`
+	Class       StreamClass  `json:"class"`
+	Weight      float64      `json:"weight"`
+}
+
+// populationJSON mirrors PopulationSpec for scenario files.
+type populationJSON struct {
+	ArrivalsPerSec  float64          `json:"arrivals_per_sec"`
+	ZipfSkew        float64          `json:"zipf_skew"`
+	Titles          int              `json:"titles"`
+	ChurnHalfLife   jsonDuration     `json:"churn_half_life"`
+	Classes         []codecClassJSON `json:"classes,omitempty"`
+	Diurnal         []float64        `json:"diurnal,omitempty"`
+	StormAt         jsonDuration     `json:"storm_at"`
+	StormInsertions int              `json:"storm_insertions"`
+	MaxStreams      int              `json:"max_streams"`
+}
+
+// sessionOptionsJSON mirrors SessionOptions field for field; only the
+// duration fields and the population pointer change type. The
+// round-trip golden test keeps the two in sync.
+type sessionOptionsJSON struct {
+	Name     string       `json:"name"`
+	Seed     int64        `json:"seed"`
+	Duration jsonDuration `json:"duration"`
+
+	RingBitRate      int64        `json:"ring_bit_rate"`
+	UtilizationCap   float64      `json:"utilization_cap"`
+	BackgroundUtil   float64      `json:"background_util"`
+	DisableAdmission bool         `json:"disable_admission"`
+	ForceInsertionAt jsonDuration `json:"force_insertion_at"`
+	PlayoutPrebuffer jsonDuration `json:"playout_prebuffer"`
+
+	Population *populationJSON `json:"population,omitempty"`
+}
+
+func (p *PopulationSpec) toJSON() *populationJSON {
+	if p == nil {
+		return nil
+	}
+	j := &populationJSON{
+		ArrivalsPerSec:  p.ArrivalsPerSec,
+		ZipfSkew:        p.ZipfSkew,
+		Titles:          p.Titles,
+		ChurnHalfLife:   jsonDuration(p.ChurnHalfLife),
+		Diurnal:         p.Diurnal,
+		StormAt:         jsonDuration(p.StormAt),
+		StormInsertions: p.StormInsertions,
+		MaxStreams:      p.MaxStreams,
+	}
+	for _, cc := range p.Classes {
+		j.Classes = append(j.Classes, codecClassJSON{
+			Name:        cc.Name,
+			PacketBytes: cc.PacketBytes,
+			Interval:    jsonDuration(cc.Interval),
+			Class:       cc.Class,
+			Weight:      cc.Weight,
+		})
+	}
+	return j
+}
+
+func (j *populationJSON) toSpec() *PopulationSpec {
+	if j == nil {
+		return nil
+	}
+	p := &PopulationSpec{
+		ArrivalsPerSec:  j.ArrivalsPerSec,
+		ZipfSkew:        j.ZipfSkew,
+		Titles:          j.Titles,
+		ChurnHalfLife:   time.Duration(j.ChurnHalfLife),
+		Diurnal:         j.Diurnal,
+		StormAt:         time.Duration(j.StormAt),
+		StormInsertions: j.StormInsertions,
+		MaxStreams:      j.MaxStreams,
+	}
+	for _, cc := range j.Classes {
+		p.Classes = append(p.Classes, CodecClass{
+			Name:        cc.Name,
+			PacketBytes: cc.PacketBytes,
+			Interval:    time.Duration(cc.Interval),
+			Class:       cc.Class,
+			Weight:      cc.Weight,
+		})
+	}
+	return p
+}
+
+// MarshalJSON renders the session options as a scenario document.
+func (o SessionOptions) MarshalJSON() ([]byte, error) {
+	return json.Marshal(sessionOptionsJSON{
+		Name:             o.Name,
+		Seed:             o.Seed,
+		Duration:         jsonDuration(o.Duration),
+		RingBitRate:      o.RingBitRate,
+		UtilizationCap:   o.UtilizationCap,
+		BackgroundUtil:   o.BackgroundUtil,
+		DisableAdmission: o.DisableAdmission,
+		ForceInsertionAt: jsonDuration(o.ForceInsertionAt),
+		PlayoutPrebuffer: jsonDuration(o.PlayoutPrebuffer),
+		Population:       o.Population.toJSON(),
+	})
+}
+
+// UnmarshalJSON parses a session scenario document. Unknown fields are
+// an error, at every nesting level.
+func (o *SessionOptions) UnmarshalJSON(b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var j sessionOptionsJSON
+	if err := dec.Decode(&j); err != nil {
+		return fmt.Errorf("ctms: bad session scenario: %w", err)
+	}
+	*o = SessionOptions{
+		Name:             j.Name,
+		Seed:             j.Seed,
+		Duration:         time.Duration(j.Duration),
+		RingBitRate:      j.RingBitRate,
+		UtilizationCap:   j.UtilizationCap,
+		BackgroundUtil:   j.BackgroundUtil,
+		DisableAdmission: j.DisableAdmission,
+		ForceInsertionAt: time.Duration(j.ForceInsertionAt),
+		PlayoutPrebuffer: time.Duration(j.PlayoutPrebuffer),
+		Population:       j.Population.toSpec(),
+	}
+	return nil
+}
+
+// LoadSessionScenarios parses a session scenario file's contents: either
+// one SessionOptions object or an array of them. Every scenario is
+// validated — ranges and class spellings both — before any is returned.
+func LoadSessionScenarios(data []byte) ([]SessionOptions, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	var scenarios []SessionOptions
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		if err := json.Unmarshal(data, &scenarios); err != nil {
+			return nil, err
+		}
+	} else {
+		var one SessionOptions
+		if err := json.Unmarshal(data, &one); err != nil {
+			return nil, err
+		}
+		scenarios = []SessionOptions{one}
+	}
+	if len(scenarios) == 0 {
+		return nil, fmt.Errorf("ctms: scenario file holds no scenarios")
+	}
+	for i, s := range scenarios {
+		if err := s.Validate(); err != nil {
+			return nil, fmt.Errorf("scenario %d (%s): %w", i, s.Name, err)
+		}
+	}
+	return scenarios, nil
+}
