@@ -12,18 +12,22 @@ ci: vet lint build race race-shards bench bench-check api-check
 vet:
 	$(GO) vet ./...
 
-# ctmsvet is the repo's own analyzer suite (internal/analyzers), both
-# tiers: the syntactic determinism/units/exhaustive rules and the typed
-# mbuflife/locking/hotpath rules DESIGN.md §7 specifies. It exits
+# ctmsvet is the repo's own analyzer suite (internal/analyzers), all
+# three tiers: the syntactic determinism/units/exhaustive rules, the
+# typed mbuflife/locking/hotpath rules, and the interprocedural
+# shardowned/seedflow/barrier rules DESIGN.md §7 specifies. It exits
 # nonzero with file:line:col diagnostics on any finding and leaves the
 # machine-readable artifact in ctmsvet.json for CI to archive.
 lint:
 	$(GO) run ./cmd/ctmsvet -out ctmsvet.json
 
-# The syntactic tier alone: no go/types loading, runs in milliseconds.
-# The edit-compile loop's lint; `make lint` (and ci) stays the gate.
+# The edit-compile loop's lint: the syntactic tier alone (no go/types
+# loading), restricted to files differing from HEAD — sub-second on a
+# clean tree, still instant with a handful of files in flight. The full
+# tree and all three tiers run in `make lint` (and ci), which stays the
+# gate.
 lint-fast:
-	$(GO) run ./cmd/ctmsvet -typed=false
+	$(GO) run ./cmd/ctmsvet -typed=false -changed HEAD
 
 build:
 	$(GO) build ./...
@@ -56,12 +60,12 @@ bench:
 # Refresh the baseline with: make bench-baseline (on a quiet machine).
 bench-check:
 	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
-		-shards 1,2,4,8 -population \
+		-shards 1,2,4,8 -population -lint \
 		-benchout /tmp/ctmsbench-check.json -compare BENCH.baseline.json
 
 bench-baseline:
 	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
-		-shards 1,2,4,8 -population \
+		-shards 1,2,4,8 -population -lint \
 		-benchout BENCH.baseline.json
 
 # The public API surface (go doc -all of the root package) is pinned in

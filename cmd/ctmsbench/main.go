@@ -21,6 +21,7 @@
 //	ctmsbench -scenario f.json # run custom Options scenario(s) from a file
 //	ctmsbench -shards 1,2,4,8  # E18 backbone shard-scaling benchmark
 //	ctmsbench -population      # E19 population sweep rows in BENCH.json
+//	ctmsbench -lint            # time the three ctmsvet tiers, record rows
 //	ctmsbench -cpuprofile c.pb # write a CPU profile of the whole run
 //	ctmsbench -memprofile m.pb # write a heap profile at exit
 //
@@ -43,6 +44,12 @@
 // BENCH.json's population rows. Under -compare the rows double as a
 // determinism gate: at a matching rate and scale the arrival and
 // admission counts must reproduce the baseline exactly.
+//
+// The -lint benchmark times ctmsvet's three tiers (syntactic, typed,
+// interprocedural) over this tree and records lint_wall_seconds rows.
+// Under -compare a tier that takes more than double its baseline wall
+// time fails the gate, so an analyzer that grows superlinear work is
+// caught the same way a simulator perf regression is.
 package main
 
 import (
@@ -57,6 +64,7 @@ import (
 	"time"
 
 	ctms "repro"
+	"repro/internal/analyzers"
 	"repro/internal/core"
 	"repro/internal/lab"
 	"repro/internal/sim"
@@ -127,6 +135,18 @@ type benchRecord struct {
 	Experiments  []benchExperiment `json:"experiments"`
 	ShardScaling []shardScaling    `json:"shard_scaling,omitempty"`
 	Population   []populationRow   `json:"population,omitempty"`
+	Lint         []lintRow         `json:"lint_wall_seconds,omitempty"`
+}
+
+// lintRow is one ctmsvet tier's cost on the real tree, recorded under
+// -lint so analyzer slowdowns gate like perf regressions. The typed row
+// includes the go/types module load it pays for; the inter row is the
+// marginal cost of the interprocedural pass on the already-loaded
+// module, exactly the increment `make lint` pays over the typed tier.
+type lintRow struct {
+	Tier        string  `json:"tier"` // syntactic | typed | inter
+	WallSeconds float64 `json:"wall_seconds"`
+	Findings    int     `json:"findings"`
 }
 
 // populationRow is one offered-load point of the E19 population sweep:
@@ -198,6 +218,7 @@ func realMain() int {
 		speedTol   = flag.Float64("speed-tolerance", 0.50, "with -compare: allowed fractional sim_seconds_per_second loss vs the baseline")
 		shards     = flag.String("shards", "", "comma-separated worker counts for the E18 shard-scaling benchmark (e.g. 1,2,4,8; empty disables)")
 		population = flag.Bool("population", false, "run the E19 population offered-load sweep and record its rows")
+		lint       = flag.Bool("lint", false, "time the three ctmsvet tiers on this tree and record lint_wall_seconds rows")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -355,6 +376,18 @@ func realMain() int {
 		}
 	}
 
+	if *lint {
+		rows, err := runLintBench()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+			return 1
+		}
+		rec.Lint = rows
+		for _, row := range rows {
+			fmt.Printf("--- lint %-9s %.3fs  %d finding(s)\n", row.Tier, row.WallSeconds, row.Findings)
+		}
+	}
+
 	if *benchout != "" {
 		if err := writeBench(*benchout, rec); err != nil {
 			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
@@ -483,6 +516,45 @@ func runPopulationBench(scale core.Scale, seed int64, parallel int) ([]populatio
 	return rows, nil
 }
 
+// runLintBench times the three ctmsvet tiers over the repository the
+// benchmark runs in, one row each. The syntactic tier is a pure-AST
+// walk; the typed row carries the go/types load of the whole module;
+// the inter row reuses that load, so it measures only what the
+// interprocedural World and its three analyzers add — the same split
+// `make lint` pays via cmd/ctmsvet.
+func runLintBench() ([]lintRow, error) {
+	root, err := analyzers.FindModuleRoot(".")
+	if err != nil {
+		return nil, fmt.Errorf("-lint: %w", err)
+	}
+
+	start := time.Now()
+	syn, err := analyzers.RunRepo(root)
+	if err != nil {
+		return nil, fmt.Errorf("-lint syntactic tier: %w", err)
+	}
+	rows := []lintRow{{Tier: "syntactic", WallSeconds: time.Since(start).Seconds(), Findings: len(syn)}}
+
+	start = time.Now()
+	mod, err := analyzers.LoadTypedModule(root)
+	if err != nil {
+		return nil, fmt.Errorf("-lint typed tier: %w", err)
+	}
+	typed, err := analyzers.RunModuleTyped(mod)
+	if err != nil {
+		return nil, fmt.Errorf("-lint typed tier: %w", err)
+	}
+	rows = append(rows, lintRow{Tier: "typed", WallSeconds: time.Since(start).Seconds(), Findings: len(typed)})
+
+	start = time.Now()
+	inter, err := analyzers.RunModuleInter(mod)
+	if err != nil {
+		return nil, fmt.Errorf("-lint inter tier: %w", err)
+	}
+	rows = append(rows, lintRow{Tier: "inter", WallSeconds: time.Since(start).Seconds(), Findings: len(inter)})
+	return rows, nil
+}
+
 // compareBench checks the just-produced record against a baseline
 // BENCH.json. It fails when mallocs grew past the malloc tolerance, when
 // simulated-seconds-per-second fell past the speed tolerance, or when
@@ -534,6 +606,25 @@ func compareBench(path string, rec benchRecord, mallocTol, speedTol float64) err
 				problems = append(problems, fmt.Sprintf(
 					"%d-shard sim_seconds_per_second %.1f fell below baseline %.1f (floor %.1f)",
 					row.Shards, row.SimSecPerSec, b.SimSecPerSec, floor))
+			}
+		}
+	}
+	// Lint rows gate analyzer cost: where a tier exists in both records
+	// its wall time may at most double over the baseline (plus half a
+	// second of absolute slack, so a 30 ms syntactic pass on a noisy
+	// runner can't trip the gate). A doubled tier means an analyzer grew
+	// superlinear work — the regression class the row exists to catch —
+	// while honest host-to-host variance stays well inside 2x. Findings
+	// are informational here; `make lint` is the correctness gate.
+	for _, row := range rec.Lint {
+		for _, b := range base.Lint {
+			if b.Tier != row.Tier {
+				continue
+			}
+			if limit := 2*b.WallSeconds + 0.5; row.WallSeconds > limit {
+				problems = append(problems, fmt.Sprintf(
+					"lint %s tier took %.2fs, more than double the baseline %.2fs (limit %.2fs)",
+					row.Tier, row.WallSeconds, b.WallSeconds, limit))
 			}
 		}
 	}

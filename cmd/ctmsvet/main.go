@@ -1,14 +1,17 @@
 // Command ctmsvet runs the repository's custom static-analysis suite
 // (see DESIGN.md §7): the syntactic tier — determinism, units,
-// exhaustive — and the typed tier — mbuflife, locking, hotpath — of
+// exhaustive — the typed tier — mbuflife, locking, hotpath — and the
+// interprocedural tier — shardowned, seedflow, barrier — of
 // internal/analyzers. It is the `make lint` step of `make ci`.
 //
 // Usage:
 //
-//	ctmsvet                     # analyze the enclosing module, both tiers
+//	ctmsvet                     # analyze the enclosing module, all tiers
 //	ctmsvet -root DIR           # analyze the module rooted at DIR
 //	ctmsvet -typed=false        # fast syntactic pass only (make lint-fast)
+//	ctmsvet -inter=false        # skip the interprocedural tier
 //	ctmsvet -analyzers a,b,c    # run only the named analyzers
+//	ctmsvet -changed HEAD       # report only findings in files differing from a git ref
 //	ctmsvet -json               # machine-readable diagnostics on stdout
 //	ctmsvet -out findings.json  # also write the JSON artifact to a file
 //	ctmsvet -baseline accepted.json  # fail only on findings not in the baseline
@@ -32,6 +35,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/analyzers"
@@ -54,6 +59,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baselinePath = fs.String("baseline", "", "accepted-findings JSON (a prior -json/-out artifact); only uncovered findings fail")
 		outPath      = fs.String("out", "", "write the findings JSON artifact to this file")
 		typed        = fs.Bool("typed", true, "run the typed tier (mbuflife, locking, hotpath); =false is the fast syntactic pass")
+		inter        = fs.Bool("inter", true, "run the interprocedural tier (shardowned, seedflow, barrier); needs -typed")
+		changedRef   = fs.String("changed", "", "report only findings in files differing from this git ref (plus untracked files)")
 		list         = fs.Bool("list", false, "print the analyzer names and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -73,11 +80,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 	}
+	// Diagnostics carry the paths the loader saw; absolutize the root so
+	// -changed's git paths compare equal to them.
+	if abs, err := filepath.Abs(dir); err == nil {
+		dir = abs
+	}
 
 	var only []string
 	for _, n := range strings.Split(*analyzerList, ",") {
 		if n = strings.TrimSpace(n); n != "" {
 			only = append(only, n)
+		}
+	}
+
+	var changed map[string]bool
+	if *changedRef != "" {
+		var err error
+		changed, err = changedFiles(dir, *changedRef)
+		if err != nil {
+			fmt.Fprintf(stderr, "ctmsvet: %v\n", err)
+			return 2
+		}
+		if len(changed) == 0 {
+			// Nothing differs from the ref: the findings set is empty
+			// by construction, so skip the analysis entirely — this is
+			// what makes `make lint-fast` sub-second on a clean tree.
+			if *jsonMode {
+				fmt.Fprintln(stdout, "[]")
+			}
+			if *outPath != "" {
+				if err := os.WriteFile(*outPath, []byte("[]\n"), 0o644); err != nil {
+					fmt.Fprintf(stderr, "ctmsvet: %v\n", err)
+					return 2
+				}
+			}
+			return 0
 		}
 	}
 
@@ -87,12 +124,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	if *typed {
-		tdiags, err := analyzers.RunRepoTyped(dir, only...)
+		// Both type-checked tiers share one module load: the source
+		// importer pass dominates their cost.
+		mod, err := analyzers.LoadTypedModule(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "ctmsvet: typed pass: %v\n", err)
+			return 2
+		}
+		tdiags, err := analyzers.RunModuleTyped(mod, only...)
 		if err != nil {
 			fmt.Fprintf(stderr, "%v\n", err)
 			return 2
 		}
 		diags = analyzers.MergeDiagnostics(diags, tdiags)
+		if *inter {
+			idiags, err := analyzers.RunModuleInter(mod, only...)
+			if err != nil {
+				fmt.Fprintf(stderr, "%v\n", err)
+				return 2
+			}
+			diags = analyzers.MergeDiagnostics(diags, idiags)
+		}
+	}
+	if changed != nil {
+		var kept []analyzers.Diagnostic
+		for _, d := range diags {
+			if changed[d.File] {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
 	}
 	if *baselinePath != "" {
 		b, err := analyzers.LoadBaseline(*baselinePath, dir)
@@ -134,4 +195,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// changedFiles returns the set of .go files under root that differ from
+// the git ref — modified/added relative to the ref plus untracked files
+// — as absolute paths, for filtering diagnostics. Analysis still runs
+// over the whole module (an interprocedural finding in a changed file
+// can depend on unchanged code), only the report is restricted.
+func changedFiles(root, ref string) (map[string]bool, error) {
+	top, err := gitOut(root, "rev-parse", "--show-toplevel")
+	if err != nil {
+		return nil, fmt.Errorf("-changed %s: %v", ref, err)
+	}
+	diff, err := gitOut(root, "diff", "--name-only", ref)
+	if err != nil {
+		return nil, fmt.Errorf("-changed %s: %v", ref, err)
+	}
+	untracked, err := gitOut(root, "ls-files", "--others", "--exclude-standard")
+	if err != nil {
+		return nil, fmt.Errorf("-changed %s: %v", ref, err)
+	}
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	changed := make(map[string]bool)
+	for _, line := range strings.Split(diff+"\n"+untracked, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || !strings.HasSuffix(line, ".go") {
+			continue
+		}
+		abs := filepath.Join(top, filepath.FromSlash(line))
+		// Only files inside the analyzed module matter.
+		if rel, err := filepath.Rel(absRoot, abs); err != nil || strings.HasPrefix(rel, "..") {
+			continue
+		}
+		changed[abs] = true
+	}
+	return changed, nil
+}
+
+// gitOut runs one git subcommand in dir and returns trimmed stdout.
+func gitOut(dir string, args ...string) (string, error) {
+	cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return "", fmt.Errorf("git %s: %s", strings.Join(args, " "), strings.TrimSpace(string(ee.Stderr)))
+		}
+		return "", fmt.Errorf("git %s: %v", strings.Join(args, " "), err)
+	}
+	return strings.TrimSpace(string(out)), nil
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -195,5 +196,121 @@ func TestCLIListFlag(t *testing.T) {
 		if !strings.Contains(stdout, name) {
 			t.Fatalf("-list output missing %q:\n%s", name, stdout)
 		}
+	}
+	// The three tiers are all represented.
+	for _, name := range []string{"determinism", "mbuflife", "shardowned", "seedflow", "barrier"} {
+		if !strings.Contains(stdout, name) {
+			t.Fatalf("-list output missing tier representative %q:\n%s", name, stdout)
+		}
+	}
+}
+
+// gitIn runs git in dir, failing the test on error.
+func gitIn(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+	cmd.Env = append(os.Environ(),
+		"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+		"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+// TestCLIChangedFlag pins the -changed contract: findings are
+// restricted to files differing from the ref, and a tree with no
+// changed Go files short-circuits to success without analyzing.
+func TestCLIChangedFlag(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	dir := scratchModule(t)
+	gitIn(t, dir, "init", "-q")
+	gitIn(t, dir, "add", ".")
+	gitIn(t, dir, "commit", "-qm", "seed")
+
+	// Nothing differs from HEAD: exit 0 even though the tree has a
+	// finding — the changed set is empty, so nothing is reported.
+	code, stdout, stderr := runCLI(t, "-root", dir, "-typed=false", "-changed", "HEAD")
+	if code != 0 {
+		t.Fatalf("exit %d on unchanged tree\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	// Add a second violating file without committing: only the new
+	// file's finding is reported, the committed one stays filtered.
+	extra := `package main
+
+//ctmsvet:enum
+type Dial int
+
+const (
+	DialA Dial = iota
+	DialB
+)
+
+func spin(d Dial) int {
+	switch d {
+	case DialA:
+		return 0
+	}
+	return 1
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "extra.go"), []byte(extra), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, "-root", dir, "-typed=false", "-changed", "HEAD")
+	if code != 1 {
+		t.Fatalf("exit %d with an uncommitted violation, want 1", code)
+	}
+	if !strings.Contains(stdout, "Dial misses DialB") || strings.Contains(stdout, "Phase misses Done") {
+		t.Fatalf("-changed should report only the uncommitted file's finding:\n%s", stdout)
+	}
+
+	// An unusable ref is a usage error, not a silent full run.
+	code, _, stderr = runCLI(t, "-root", dir, "-typed=false", "-changed", "no-such-ref")
+	if code != 2 || !strings.Contains(stderr, "no-such-ref") {
+		t.Fatalf("exit %d for a bad ref (stderr %q), want 2 naming the ref", code, stderr)
+	}
+}
+
+// TestCLIInterFlag: the interprocedural tier rides on the typed tier's
+// module load, and -inter=false drops exactly its findings.
+func TestCLIInterFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads a typed module; skipped under -short")
+	}
+	dir := scratchModule(t)
+	// A sim-critical package with a literal-seeded RNG: seedflow fires
+	// only when the interprocedural tier runs.
+	sim := `// Package sim stubs the core for the CLI test.
+package sim
+
+// RNG is a stub variate source.
+//
+//ctmsvet:shardowned
+type RNG struct{ seed int64 }
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG { return &RNG{seed: seed} }
+
+// Default is built from a literal seed: the planted violation.
+func Default() *RNG { return NewRNG(1234) }
+`
+	if err := os.MkdirAll(filepath.Join(dir, "internal", "sim"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "internal", "sim", "sim.go"), []byte(sim), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, stdout, stderr := runCLI(t, "-root", dir, "-analyzers", "seedflow")
+	if code != 1 || !strings.Contains(stdout, "literal seed") {
+		t.Fatalf("exit %d, want 1 with a seedflow finding\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+
+	code, stdout, _ = runCLI(t, "-root", dir, "-analyzers", "seedflow", "-inter=false")
+	if code != 0 || stdout != "" {
+		t.Fatalf("-inter=false should drop the interprocedural finding; exit %d\n%s", code, stdout)
 	}
 }

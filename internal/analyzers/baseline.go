@@ -89,7 +89,7 @@ func (b *Baseline) Filter(diags []Diagnostic, root string) []Diagnostic {
 	return out
 }
 
-// MergeDiagnostics combines the two tiers' findings into one suite
+// MergeDiagnostics combines the tiers' findings into one suite
 // ordering (file, then line, then analyzer).
 func MergeDiagnostics(a, b []Diagnostic) []Diagnostic {
 	out := make([]Diagnostic, 0, len(a)+len(b))

@@ -258,7 +258,7 @@ func NewTarget(pkg *Package, as ...*Analyzer) Target {
 // Run executes every target's analyzers, applies //ctmsvet:allow
 // suppressions, validates the directives themselves, and returns the
 // surviving diagnostics sorted by file, line, column, analyzer. The
-// known-analyzer vocabulary for directive validation spans both tiers
+// known-analyzer vocabulary for directive validation spans all tiers
 // (see AnalyzerNames), so an allow for a typed analyzer stays valid in
 // a syntactic-only run.
 func Run(targets []Target, idx *Index) []Diagnostic {
@@ -279,7 +279,7 @@ func Run(targets []Target, idx *Index) []Diagnostic {
 }
 
 // sortDiagnostics orders findings by file, line, column, analyzer — the
-// stable order both tiers and the merged CLI report use.
+// stable order every tier and the merged CLI report use.
 func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

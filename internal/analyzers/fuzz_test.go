@@ -24,6 +24,12 @@ func FuzzAllowDirective(f *testing.F) {
 	f.Add("//ctmsvet:allow\tmbuflife tab separated")
 	f.Add("//ctmsvet:allow locking nbsp reason")
 
+	f.Add("//ctmsvet:allow shardowned worker spawn is the ownership transfer")
+	f.Add("//ctmsvet:allow seedflow replay harness reuses the compiled seed")
+	f.Add("//ctmsvet:allow barrier peek only, no message moves")
+	f.Add("//ctmsvet:shardowned")
+	f.Add("//ctmsvet:crossing push trailing text")
+
 	f.Fuzz(func(t *testing.T, text string) {
 		analyzer, reason, ok := parseAllowDirective(text)
 		if !ok {
@@ -53,6 +59,52 @@ func FuzzAllowDirective(f *testing.F) {
 		// ASCII space from it must be a no-op.
 		if strings.TrimFunc(analyzer, func(r rune) bool { return r == ' ' }) != analyzer {
 			t.Fatalf("analyzer has surrounding spaces: %q", analyzer)
+		}
+	})
+}
+
+// FuzzCrossingDirective pins parseCrossingDirective's contract the same
+// way: total over arbitrary text, accepts exactly the //ctmsvet:crossing
+// prefix, the role token carries no spaces, the reason comes back
+// trimmed. World.validateDirectives trusts these properties when it
+// turns malformed directives into findings instead of panics.
+func FuzzCrossingDirective(f *testing.F) {
+	f.Add("//ctmsvet:crossing push single-writer enqueue, deliverAt past the floor")
+	f.Add("//ctmsvet:crossing drain runs only in the barrier step")
+	f.Add("//ctmsvet:crossing peek end-of-run accounting")
+	f.Add("//ctmsvet:crossing")
+	f.Add("//ctmsvet:crossing push")
+	f.Add("//ctmsvet:crossing teleport sideways")
+	f.Add("//ctmsvet:crossingx")
+	f.Add("// ctmsvet:crossing push leading space disqualifies")
+	f.Add("//ctmsvet:shardowned")
+	f.Add("//ctmsvet:allow shardowned not a crossing")
+	f.Add("/*ctmsvet:crossing block*/")
+	f.Add("")
+	f.Add("//ctmsvet:crossing\tpush tab separated")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		role, reason, ok := parseCrossingDirective(text)
+		if !ok {
+			if role != "" || reason != "" {
+				t.Fatalf("rejected input returned non-empty parts: %q %q", role, reason)
+			}
+			if strings.HasPrefix(text, crossingPrefix) {
+				t.Fatalf("input with the crossing prefix was rejected: %q", text)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, crossingPrefix) {
+			t.Fatalf("accepted input without the crossing prefix: %q", text)
+		}
+		if strings.ContainsRune(role, ' ') {
+			t.Fatalf("role token contains a space: %q (from %q)", role, text)
+		}
+		if trimmed := strings.TrimSpace(reason); trimmed != reason {
+			t.Fatalf("reason not trimmed: %q (from %q)", reason, text)
+		}
+		if role == "" && reason != "" {
+			t.Fatalf("empty role but reason %q (from %q)", reason, text)
 		}
 	})
 }

@@ -24,7 +24,10 @@ import (
 //   - boxing a basic value (int, float, string, bool) into an
 //     interface parameter,
 //   - closures that capture local variables and are not immediately
-//     invoked.
+//     invoked,
+//   - a method value (x.M referenced, not called): it boxes its
+//     receiver into a new func value — an allocation the call syntax
+//     hides completely.
 //
 // Cold failure branches are exempt: an if-body whose last statement is
 // panic(...) or Checkf(false, ...) is the crash path, not the data
@@ -68,6 +71,7 @@ func checkHotpathBody(p *TypedPass, fd *ast.FuncDecl) {
 	// up front.
 	cold := make(map[*ast.BlockStmt]bool)
 	invoked := make(map[*ast.FuncLit]bool)
+	called := make(map[*ast.SelectorExpr]bool) // x.M in call position: a plain method call, not a method value
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch x := n.(type) {
 		case *ast.IfStmt:
@@ -77,6 +81,9 @@ func checkHotpathBody(p *TypedPass, fd *ast.FuncDecl) {
 		case *ast.CallExpr:
 			if lit, ok := ast.Unparen(x.Fun).(*ast.FuncLit); ok {
 				invoked[lit] = true
+			}
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok {
+				called[sel] = true
 			}
 		}
 		return true
@@ -111,6 +118,13 @@ func checkHotpathBody(p *TypedPass, fd *ast.FuncDecl) {
 		case *ast.FuncLit:
 			if !invoked[x] && capturesLocal(p, x) {
 				p.Reportf(x.Pos(), "allocates: closure captures local state in hotpath function %s", fd.Name.Name)
+			}
+		case *ast.SelectorExpr:
+			if !called[x] {
+				if sel, ok := p.Pkg.Info.Selections[x]; ok && sel.Kind() == types.MethodVal {
+					p.Reportf(x.Pos(), "allocates: method value %s.%s boxes its receiver in hotpath function %s (call it, or hoist the bound value out of the hot path)",
+						exprString(x.X), x.Sel.Name, fd.Name.Name)
+				}
 			}
 		}
 		return true

@@ -83,6 +83,55 @@ func frame(packetBytes int64) int64 {
 	}
 }
 
+// TestSimCriticalCoverage makes scope drift impossible: every package
+// under internal/ must be either sim-critical (listed) or exempted with
+// a reason — PR 7 had to remember to enroll workload and stats by hand;
+// a new package now fails this test until someone decides which side of
+// the line it lives on. Stale entries (listed or exempted packages that
+// no longer exist) fail too, so the lists describe the tree as it is.
+func TestSimCriticalCoverage(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("module root: %v", err)
+	}
+	listed := make(map[string]bool, len(SimCriticalPackages))
+	for _, p := range SimCriticalPackages {
+		listed[p] = true
+	}
+	entries, err := os.ReadDir(filepath.Join(root, "internal"))
+	if err != nil {
+		t.Fatalf("read internal/: %v", err)
+	}
+	present := make(map[string]bool)
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		rel := "internal/" + e.Name()
+		present[rel] = true
+		_, exempt := SimCriticalExemptions[rel]
+		switch {
+		case listed[rel] && exempt:
+			t.Errorf("%s is both sim-critical and exempted; pick one", rel)
+		case !listed[rel] && !exempt:
+			t.Errorf("%s is neither in SimCriticalPackages nor in SimCriticalExemptions; decide which and say why", rel)
+		}
+	}
+	for _, p := range SimCriticalPackages {
+		if !present[p] {
+			t.Errorf("SimCriticalPackages lists %s, which does not exist", p)
+		}
+	}
+	for p, reason := range SimCriticalExemptions {
+		if !present[p] {
+			t.Errorf("SimCriticalExemptions lists %s, which does not exist", p)
+		}
+		if strings.TrimSpace(reason) == "" {
+			t.Errorf("exemption for %s has no reason; the reason is the point", p)
+		}
+	}
+}
+
 // TestMarshalJSONDiagnostics pins the -json contract: always an array,
 // never null.
 func TestMarshalJSONDiagnostics(t *testing.T) {

@@ -1,0 +1,80 @@
+// Package barrier exercises the inbox-discipline analyzer: deliverAt
+// must be now+latency, pushes happen during windows, drains happen at
+// barriers, and nobody does both.
+package barrier
+
+import "interfix/sim"
+
+type msg struct{ v int }
+
+type inbox struct {
+	msgs []msg
+}
+
+// put is the sender-side enqueue.
+//
+//ctmsvet:crossing push fixture sender-side enqueue during the window
+func (b *inbox) put(at sim.Time, m msg) {
+	_ = at
+	b.msgs = append(b.msgs, m)
+}
+
+// drain is the receiver-side dequeue.
+//
+//ctmsvet:crossing drain fixture dequeue at the window boundary
+func (b *inbox) drain(bound sim.Time) []msg {
+	_ = bound
+	out := b.msgs
+	b.msgs = nil
+	return out
+}
+
+const linkLatency = sim.Time(400)
+
+type engine struct {
+	sched *sim.Scheduler
+	box   *inbox
+}
+
+// validate is the latency-floor guard rule 5 looks for.
+func (e *engine) validate(latency sim.Time) bool {
+	return latency >= sim.DefaultSwitchCost
+}
+
+// send is the correct push shape: now + latency, called from a worker.
+func (e *engine) send(m msg) {
+	e.box.put(e.sched.Now()+linkLatency, m)
+}
+
+func (e *engine) sendNoLatency(m msg) {
+	e.box.put(e.sched.Now(), m) // want `adds no latency to Now\(\)`
+}
+
+func (e *engine) sendAbsolute(m msg) {
+	e.box.put(sim.Time(1000)+linkLatency, m) // want `no \.Now\(\) term`
+}
+
+// Run is the barrier-stepping driver.
+func (e *engine) Run() {
+	e.step()
+	e.pushFromRun(msg{v: 1})
+}
+
+// step drains at the window boundary: reachable from Run, legal.
+func (e *engine) step() {
+	_ = e.box.drain(e.sched.Now())
+}
+
+func (e *engine) pushFromRun(m msg) {
+	e.box.put(e.sched.Now()+linkLatency, m) // want `reachable from Run`
+}
+
+// drainEarly consumes mid-window, outside the barrier step.
+func (e *engine) drainEarly() {
+	_ = e.box.drain(e.sched.Now()) // want `called outside the barrier step`
+}
+
+func (e *engine) pump(m msg) { // want `both pushes to and drains an inbox`
+	e.box.put(e.sched.Now()+linkLatency, m)
+	_ = e.box.drain(e.sched.Now()) // want `called outside the barrier step`
+}

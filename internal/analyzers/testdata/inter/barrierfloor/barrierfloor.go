@@ -1,0 +1,28 @@
+// Package barrierfloor is a pushing package with no SwitchCost guard
+// anywhere: rule 5 anchors its finding on the push declaration.
+package barrierfloor
+
+import "interfix/sim"
+
+type msg struct{}
+
+type inbox struct{ msgs []msg }
+
+// put enqueues; nothing in this package validates the latency floor.
+//
+//ctmsvet:crossing push fixture enqueue with no floor guard anywhere
+func (b *inbox) put(at sim.Time, m msg) { // want `never compares a latency against the SwitchCost floor`
+	_ = at
+	b.msgs = append(b.msgs, m)
+}
+
+const lat = sim.Time(300)
+
+type eng struct {
+	sched *sim.Scheduler
+	box   *inbox
+}
+
+func (e *eng) send(m msg) {
+	e.box.put(e.sched.Now()+lat, m)
+}

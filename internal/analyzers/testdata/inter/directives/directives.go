@@ -1,0 +1,27 @@
+// Package directives exercises crossing-directive validation: a typo'd
+// directive must fail loudly, never silently un-bless a function.
+//
+// The malformed directives below float free of any declaration — the
+// validation sweep reads every comment group, and a doc comment would
+// let the formatter reorder the directive past its want line.
+package directives
+
+//ctmsvet:crossing
+// want `crossing directive names no role`
+
+func noRole() {}
+
+//ctmsvet:crossing teleport moves messages sideways
+// want `unknown role "teleport"`
+
+func badRole() {}
+
+//ctmsvet:crossing push
+// want `missing its mandatory reason`
+
+func noReason() {}
+
+// wellFormed is fine: role and reason both present.
+//
+//ctmsvet:crossing peek fixture directive with role and reason
+func wellFormed() {}

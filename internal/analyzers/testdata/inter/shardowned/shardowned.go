@@ -1,0 +1,95 @@
+// Package shardowned exercises the ownership-escape analyzer: each
+// violation below is one way //ctmsvet:shardowned state can leave the
+// goroutine that owns it.
+package shardowned
+
+import (
+	"sync"
+
+	"interfix/sim"
+)
+
+// shard mirrors the engine's per-worker slice of the simulation.
+//
+//ctmsvet:shardowned
+type shard struct {
+	sched *sim.Scheduler
+}
+
+// wrapper reaches a shard transitively, through an unannotated type.
+type wrapper struct {
+	s *shard
+}
+
+var leaked *shard // want `package-level var leaked can reach shardowned state`
+
+var indirect wrapper // want `package-level var indirect can reach shardowned state`
+
+var sink any
+
+func storeGlobal(s *shard) {
+	sink = s // want `store of shard-reachable value .* into package-level var sink`
+}
+
+func worker(s *shard) { _ = s }
+
+func spawnArg(s *shard) {
+	go worker(s) // want `go statement passes shard-reachable value`
+}
+
+func spawnCapture(s *shard) {
+	go func() { // want `go statement's closure captures shard-reachable s`
+		_ = s.sched
+	}()
+}
+
+func (s *shard) run() {}
+
+func spawnMethod(s *shard) {
+	go s.run() // want `go statement runs a method on shard-reachable receiver`
+}
+
+func send(ch chan *shard, s *shard) {
+	ch <- s // want `channel send of shard-reachable value`
+}
+
+type box struct {
+	mu   sync.Mutex
+	msgs []*shard
+}
+
+func (b *box) unblessed(s *shard) { // want `unblessed locks a mutex while touching shard-reachable state`
+	b.mu.Lock()
+	b.msgs = append(b.msgs, s)
+	b.mu.Unlock()
+}
+
+// ---- clean patterns: no diagnostics expected below this line ----
+
+// put is the blessed crossing: the mutex section is annotated.
+//
+//ctmsvet:crossing push fixture inbox enqueue, single writer per direction
+func (b *box) put(s *shard) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, s)
+	b.mu.Unlock()
+}
+
+// spawnAllowed is the engine's own pattern: the ownership transfer
+// itself, argued once in text.
+func spawnAllowed(s *shard) {
+	//ctmsvet:allow shardowned fixture exercises the reasoned ownership transfer
+	go worker(s)
+}
+
+// confined never lets the shard out of the local scope.
+func confined() {
+	s := &shard{sched: &sim.Scheduler{}}
+	worker(s)
+}
+
+// ints shows that unrelated state passes untouched.
+func ints(ch chan int, n int) {
+	ch <- n
+	go func() { _ = n }()
+}

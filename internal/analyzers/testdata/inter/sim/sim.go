@@ -1,0 +1,47 @@
+// Package sim is a stub of the real engine's simulation core with just
+// enough shape for the interprocedural fixtures: simulated time, a
+// scheduler, and an RNG constructed from a seed. The analyzers match by
+// package and type name, so these stand-ins exercise exactly the code
+// paths the real tree does.
+package sim
+
+// Time is simulated time in microseconds, like the real package.
+type Time int64
+
+// DefaultSwitchCost mirrors router.DefaultSwitchCost: the latency floor
+// the barrier fixtures guard against.
+const DefaultSwitchCost = Time(180)
+
+// Scheduler is the fixture stand-in for the discrete-event engine.
+//
+//ctmsvet:shardowned
+type Scheduler struct {
+	now Time
+}
+
+// Now reports the scheduler's current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// RNG is the fixture stand-in for the deterministic variate source.
+//
+//ctmsvet:shardowned
+type RNG struct {
+	seed int64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed int64) *RNG { return &RNG{seed: seed} }
+
+// Fork derives a child whose stream depends only on seed and label —
+// the same local-temporary shape the real Fork has, so the seedflow
+// back-substitution is exercised by the fixture module itself.
+func (g *RNG) Fork(label string) *RNG {
+	h := g.seed
+	for _, c := range label {
+		h = h*1099511628211 + int64(c)
+	}
+	return NewRNG(h)
+}
+
+// Uniform is a draw; the fixtures only need the call shape.
+func (g *RNG) Uniform() float64 { return float64(g.seed%1000) / 1000 }

@@ -72,7 +72,24 @@ func closure(n int) func() int {
 	return func() int { return n } // want `allocates: closure captures local state in hotpath function closure`
 }
 
+//ctmsvet:hotpath
+func methodValue(s *q) func(*item) {
+	return s.push // want `allocates: method value s\.push boxes its receiver in hotpath function methodValue`
+}
+
 // ---- clean patterns: no diagnostics expected below this line ----
+
+//ctmsvet:hotpath
+func methodExpr() func(*q, int) {
+	// a method expression carries no receiver: nothing is boxed
+	return (*q).compact
+}
+
+//ctmsvet:hotpath
+func methodCall(s *q, i int) {
+	// calling a method directly is not a method value
+	s.compact(i)
+}
 
 //ctmsvet:hotpath
 func (s *q) compact(i int) {

@@ -251,7 +251,7 @@ func LoadTypedModule(root string) (*Module, error) {
 // AllTyped lists the typed-tier analyzers.
 var AllTyped = []*TypedAnalyzer{Mbuflife, Locking, Hotpath}
 
-// AnalyzerNames returns the names of every analyzer in both tiers, in
+// AnalyzerNames returns the names of every analyzer in all three tiers, in
 // suite order. This is the -analyzers vocabulary and the known-set for
 // //ctmsvet:allow validation: a directive naming a typed analyzer must
 // stay valid even when only the syntactic tier runs.
@@ -261,6 +261,9 @@ func AnalyzerNames() []string {
 		names = append(names, a.Name)
 	}
 	for _, a := range AllTyped {
+		names = append(names, a.Name)
+	}
+	for _, a := range AllInter {
 		names = append(names, a.Name)
 	}
 	return names
@@ -293,7 +296,7 @@ func selectTyped(only []string) []*TypedAnalyzer {
 	return out
 }
 
-// SelectNames validates an -analyzers selection against both tiers,
+// SelectNames validates an -analyzers selection against all tiers,
 // returning an error that lists the valid names for any unknown entry.
 func SelectNames(only []string) error {
 	known := knownAnalyzers()
@@ -338,6 +341,20 @@ func RunRepoTyped(root string, only ...string) ([]Diagnostic, error) {
 	mod, err := LoadTypedModule(root)
 	if err != nil {
 		return nil, fmt.Errorf("ctmsvet: typed pass: %w", err)
+	}
+	return RunTyped(mod.Packages(), as), nil
+}
+
+// RunModuleTyped runs the typed tier over an already-loaded module, so
+// callers running both type-checked tiers (the CLI, ctmsbench) pay for
+// one load instead of two.
+func RunModuleTyped(mod *Module, only ...string) ([]Diagnostic, error) {
+	if err := SelectNames(only); err != nil {
+		return nil, fmt.Errorf("ctmsvet: %w", err)
+	}
+	as := selectTyped(only)
+	if len(as) == 0 {
+		return nil, nil
 	}
 	return RunTyped(mod.Packages(), as), nil
 }

@@ -1,6 +1,9 @@
 package dsp
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Assembler builds programs with symbolic labels, the way the original
 // driver authors would have used the TI macro assembler.
@@ -38,12 +41,19 @@ func (a *Assembler) Branch(op Op, label string) *Assembler {
 	return a
 }
 
-// Assemble resolves labels and returns the program.
+// Assemble resolves labels and returns the program. Fixups are applied
+// in instruction order so the first error reported is the first broken
+// branch, not whichever one map iteration surfaced.
 func (a *Assembler) Assemble() (Program, error) {
-	for pos, label := range a.fixups {
-		target, ok := a.labels[label]
+	positions := make([]int, 0, len(a.fixups))
+	for pos := range a.fixups { //ctmsvet:allow determinism keys are sorted immediately below, so fixup order is independent of map iteration order
+		positions = append(positions, pos)
+	}
+	sort.Ints(positions)
+	for _, pos := range positions {
+		target, ok := a.labels[a.fixups[pos]]
 		if !ok {
-			a.errs = append(a.errs, fmt.Errorf("dsp: undefined label %q", label))
+			a.errs = append(a.errs, fmt.Errorf("dsp: undefined label %q", a.fixups[pos]))
 			continue
 		}
 		a.prog[pos].Arg = uint16(target)

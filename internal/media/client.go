@@ -14,8 +14,8 @@ import (
 // consumes them at the track's natural rate after a prebuffer delay,
 // counting underruns.
 type trackPlayer struct {
-	rate      float64 // bytes/sec
-	prebuffer sim.Time
+	rateBytesPerSec float64
+	prebuffer       sim.Time
 
 	started bool
 	playAt  sim.Time
@@ -41,7 +41,7 @@ func (p *trackPlayer) drainTo(t sim.Time) {
 		p.lastT = t
 		return
 	}
-	need := p.rate * (t - from).Seconds()
+	need := p.rateBytesPerSec * (t - from).Seconds()
 	if need <= p.buffer {
 		p.buffer -= need
 		p.played += int64(need)
@@ -50,7 +50,7 @@ func (p *trackPlayer) drainTo(t sim.Time) {
 		p.played += int64(p.buffer)
 		short := need - p.buffer
 		p.buffer = 0
-		p.starvedTime += sim.Time(short / p.rate * float64(sim.Second))
+		p.starvedTime += sim.Time(short / p.rateBytesPerSec * float64(sim.Second))
 		if !p.starved {
 			p.glitches++
 			p.starved = true
@@ -118,10 +118,10 @@ func NewClient(k *kernel.Kernel, drv *tradapter.Driver, tracks []Track, prebuffe
 		prebuffer: prebuffer,
 	}
 	for _, t := range tracks {
-		if t.Rate == 0 {
+		if t.RateBytesPerSec == 0 {
 			return nil, fmt.Errorf("media: track %d has zero rate", t.ID)
 		}
-		c.players[t.ID] = &trackPlayer{rate: float64(t.Rate), prebuffer: prebuffer}
+		c.players[t.ID] = &trackPlayer{rateBytesPerSec: float64(t.RateBytesPerSec), prebuffer: prebuffer}
 		c.kinds[t.ID] = t.Kind
 	}
 	drv.SetHandler(tradapter.ClassCTMSP, c.handle)

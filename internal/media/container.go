@@ -60,8 +60,8 @@ func (k TrackKind) String() string {
 type Track struct {
 	ID   uint8
 	Kind TrackKind
-	// Rate is bytes per second the track consumes at presentation time.
-	Rate uint32
+	// RateBytesPerSec is what the track consumes at presentation time.
+	RateBytesPerSec uint32
 }
 
 // Chunk is one timestamped piece of one track.
@@ -135,7 +135,7 @@ func (d *Document) Encode() ([]byte, error) {
 		var te [trackEntrySize]byte
 		te[0] = t.ID
 		te[1] = uint8(t.Kind)
-		binary.BigEndian.PutUint32(te[2:], t.Rate)
+		binary.BigEndian.PutUint32(te[2:], t.RateBytesPerSec)
 		buf.Write(te[:])
 	}
 	for _, c := range d.SortedChunks() {
@@ -172,9 +172,9 @@ func Decode(b []byte) (*Document, error) {
 			return nil, fmt.Errorf("media: truncated track table")
 		}
 		t := Track{
-			ID:   b[pos],
-			Kind: TrackKind(b[pos+1]),
-			Rate: binary.BigEndian.Uint32(b[pos+2:]),
+			ID:              b[pos],
+			Kind:            TrackKind(b[pos+1]),
+			RateBytesPerSec: binary.BigEndian.Uint32(b[pos+2:]),
 		}
 		if seen[t.ID] {
 			return nil, fmt.Errorf("media: duplicate track id %d", t.ID)

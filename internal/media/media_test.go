@@ -16,8 +16,8 @@ import (
 func TestContainerRoundTrip(t *testing.T) {
 	d := &Document{
 		Tracks: []Track{
-			{ID: 1, Kind: KindPCMAudio, Rate: 176400},
-			{ID: 2, Kind: KindVideo, Rate: 120000},
+			{ID: 1, Kind: KindPCMAudio, RateBytesPerSec: 176400},
+			{ID: 2, Kind: KindVideo, RateBytesPerSec: 120000},
 		},
 		Chunks: []Chunk{
 			{Track: 1, TimestampMicros: 0, Data: []byte("audio-0")},
@@ -52,7 +52,7 @@ func TestContainerRoundTrip(t *testing.T) {
 
 func TestContainerRejectsCorruption(t *testing.T) {
 	d := &Document{
-		Tracks: []Track{{ID: 1, Kind: KindVideo, Rate: 1000}},
+		Tracks: []Track{{ID: 1, Kind: KindVideo, RateBytesPerSec: 1000}},
 		Chunks: []Chunk{{Track: 1, Data: []byte("x")}},
 	}
 	enc, err := d.Encode()
@@ -77,7 +77,7 @@ func TestContainerRejectsCorruption(t *testing.T) {
 	}
 	// Chunks for unknown tracks and duplicate tracks.
 	if _, err := (&Document{
-		Tracks: []Track{{ID: 1, Kind: KindVideo, Rate: 1}},
+		Tracks: []Track{{ID: 1, Kind: KindVideo, RateBytesPerSec: 1}},
 		Chunks: []Chunk{{Track: 7}},
 	}).Encode(); err == nil {
 		t.Fatal("unknown chunk track must fail at encode")
@@ -93,7 +93,7 @@ func TestContainerProperty(t *testing.T) {
 		if len(payloads) > 20 {
 			payloads = payloads[:20]
 		}
-		d := &Document{Tracks: []Track{{ID: 3, Kind: KindMuLawAudio, Rate: 8000}}}
+		d := &Document{Tracks: []Track{{ID: 3, Kind: KindMuLawAudio, RateBytesPerSec: 8000}}}
 		for i, p := range payloads {
 			ts := uint64(0)
 			if i < len(stamps) {
@@ -118,8 +118,8 @@ func TestContainerProperty(t *testing.T) {
 
 func TestSynthTracks(t *testing.T) {
 	tr, chunks := CDAudioTrack(1, 100*sim.Millisecond, 12*sim.Millisecond)
-	if tr.Rate != 176400 {
-		t.Fatalf("CD rate: %d", tr.Rate)
+	if tr.RateBytesPerSec != 176400 {
+		t.Fatalf("CD rate: %d", tr.RateBytesPerSec)
 	}
 	var total int
 	for _, c := range chunks {
@@ -134,7 +134,7 @@ func TestSynthTracks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if vt.Kind != KindMuLawAudio || vt.Rate != 8000 {
+	if vt.Kind != KindMuLawAudio || vt.RateBytesPerSec != 8000 {
 		t.Fatalf("voice track: %+v", vt)
 	}
 	// The µ-law bytes must decode back to something close to the sine.

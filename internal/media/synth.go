@@ -13,12 +13,12 @@ import (
 // comparison across the transport.
 
 // SineSamples generates 16-bit PCM of a sine at freq Hz sampled at
-// rate Hz for the given duration.
-func SineSamples(freq float64, rate int, duration sim.Time) []int16 {
-	n := int(float64(rate) * duration.Seconds())
+// sampleHz for the given duration.
+func SineSamples(freq float64, sampleHz int, duration sim.Time) []int16 {
+	n := int(float64(sampleHz) * duration.Seconds())
 	out := make([]int16, n)
 	for i := range out {
-		out[i] = int16(20000 * math.Sin(2*math.Pi*freq*float64(i)/float64(rate)))
+		out[i] = int16(20000 * math.Sin(2*math.Pi*freq*float64(i)/float64(sampleHz)))
 	}
 	return out
 }
@@ -51,7 +51,7 @@ func CDAudioTrack(id uint8, duration, chunkDur sim.Time) (Track, []Chunk) {
 	for i := range left {
 		inter = append(inter, left[i], right[i])
 	}
-	t := Track{ID: id, Kind: KindPCMAudio, Rate: rate * 4}
+	t := Track{ID: id, Kind: KindPCMAudio, RateBytesPerSec: rate * 4}
 	return t, chunkBytes(id, PCMBytes(inter), rate*4, chunkDur)
 }
 
@@ -64,17 +64,17 @@ func VoiceTrack(id uint8, duration, chunkDur sim.Time) (Track, []Chunk, error) {
 	if err != nil {
 		return Track{}, nil, err
 	}
-	t := Track{ID: id, Kind: KindMuLawAudio, Rate: rate}
+	t := Track{ID: id, Kind: KindMuLawAudio, RateBytesPerSec: rate}
 	return t, chunkBytes(id, mulaw, rate, chunkDur), nil
 }
 
 // VideoTrack builds a synthetic compressed-video track: one frame per
-// tick at frameRate, with deterministic pseudo-compressed payloads whose
-// sizes vary the way inter/intra coded frames do (a large "key frame"
-// every keyInterval frames). averageRate is the target bytes/second.
-func VideoTrack(id uint8, frameRate int, averageRate uint32, duration sim.Time, keyInterval int) (Track, []Chunk) {
-	nFrames := int(float64(frameRate) * duration.Seconds())
-	avgFrame := int(averageRate) / frameRate
+// tick at framesPerSec, with deterministic pseudo-compressed payloads
+// whose sizes vary the way inter/intra coded frames do (a large "key
+// frame" every keyInterval frames).
+func VideoTrack(id uint8, framesPerSec int, averageBytesPerSec uint32, duration sim.Time, keyInterval int) (Track, []Chunk) {
+	nFrames := int(float64(framesPerSec) * duration.Seconds())
+	avgFrame := int(averageBytesPerSec) / framesPerSec
 	// Key frames are 4× the delta-frame size; choose the delta size so
 	// the long-run average equals the declared rate:
 	// (4d + (k−1)d)/k = avg  ⇒  d = avg·k/(k+3).
@@ -94,16 +94,16 @@ func VideoTrack(id uint8, frameRate int, averageRate uint32, duration sim.Time, 
 			state = state*1664525 + 1013904223
 			data[i] = byte(state >> 24)
 		}
-		ts := uint64(f) * 1_000_000 / uint64(frameRate)
+		ts := uint64(f) * 1_000_000 / uint64(framesPerSec)
 		chunks = append(chunks, Chunk{Track: id, TimestampMicros: ts, Data: data})
 	}
-	return Track{ID: id, Kind: KindVideo, Rate: averageRate}, chunks
+	return Track{ID: id, Kind: KindVideo, RateBytesPerSec: averageBytesPerSec}, chunks
 }
 
 // chunkBytes splits a byte stream into chunks of chunkDur at the track
 // rate, timestamped at their presentation offsets.
-func chunkBytes(id uint8, data []byte, rate uint32, chunkDur sim.Time) []Chunk {
-	per := int(float64(rate) * chunkDur.Seconds())
+func chunkBytes(id uint8, data []byte, rateBytesPerSec uint32, chunkDur sim.Time) []Chunk {
+	per := int(float64(rateBytesPerSec) * chunkDur.Seconds())
 	if per < 1 {
 		per = 1
 	}
@@ -113,7 +113,7 @@ func chunkBytes(id uint8, data []byte, rate uint32, chunkDur sim.Time) []Chunk {
 		if end > len(data) {
 			end = len(data)
 		}
-		ts := uint64(float64(off) / float64(rate) * 1e6)
+		ts := uint64(float64(off) / float64(rateBytesPerSec) * 1e6)
 		chunks = append(chunks, Chunk{Track: id, TimestampMicros: ts, Data: data[off:end]})
 	}
 	return chunks

@@ -38,6 +38,8 @@ func init() { sim.RegisterEventKind(EvGlitch, "playout.glitch") }
 // prebuffer delay it consumes the stream at a constant byte rate; an
 // arriving-packet history plus analytic drain between events gives exact
 // underrun and high-water accounting without per-byte events.
+//
+//ctmsvet:shardowned
 type Playout struct {
 	bytesPerSec float64
 	prebuffer   sim.Time

@@ -69,6 +69,8 @@ type Counters struct {
 // contending transmitters wait for the token, which the model grants to
 // the highest reservation priority first and round-robin within a
 // priority, approximating the 802.5 priority/reservation protocol.
+//
+//ctmsvet:shardowned
 type Ring struct {
 	sched    *sim.Scheduler
 	cfg      Config

@@ -89,6 +89,8 @@ type reservation struct {
 // declared background load. It also tracks a transient capacity penalty
 // (Ring Purge outages within a recent window) so the session layer can
 // shed reservations that no longer fit.
+//
+//ctmsvet:shardowned
 type Controller struct {
 	nominalBits    int64 // bit rate × utilization cap
 	backgroundBits int64 // standing background load

@@ -13,6 +13,8 @@ import (
 // Each subsystem should derive its own RNG with Fork so that adding or
 // removing one traffic source does not perturb the draws seen by another —
 // this keeps experiments comparable across configuration toggles.
+//
+//ctmsvet:shardowned
 type RNG struct {
 	r    *rand.Rand
 	seed int64

@@ -122,6 +122,8 @@ const maxTime = Time(math.MaxInt64)
 // a far-future overflow heap). Events scheduled for the same instant fire
 // in the order they were scheduled, which keeps runs deterministic; the
 // (at, seq) order is bit-identical to the binary heap this replaced.
+//
+//ctmsvet:shardowned
 type Scheduler struct {
 	now      Time
 	seq      uint64

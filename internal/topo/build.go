@@ -39,6 +39,8 @@ type Network struct {
 // ring with population and background load, the per-ring admission
 // controller, and the inbound cross-ring queues drained at window
 // boundaries. Exactly one worker goroutine ever touches a shard.
+//
+//ctmsvet:shardowned
 type shard struct {
 	idx     int
 	sched   *sim.Scheduler

@@ -44,6 +44,8 @@ func newInbox(dir int, egress *router.Half) *inbox {
 }
 
 // put appends a message; called from the sender shard's worker.
+//
+//ctmsvet:crossing push single-writer enqueue: only the sending half's worker calls put, and deliverAt carries now+latency past the window floor
 func (b *inbox) put(deliverAt sim.Time, f router.Forwarded) {
 	b.mu.Lock()
 	b.msgs = append(b.msgs, crossMsg{
@@ -61,6 +63,8 @@ func (b *inbox) put(deliverAt sim.Time, f router.Forwarded) {
 // drainDue appends every message with deliverAt ≤ bound to into and
 // removes them from the queue. deliverAt is nondecreasing within an
 // inbox, so the due messages are exactly a prefix.
+//
+//ctmsvet:crossing drain receiver-side dequeue: runs only in the barrier step between windows, when the sending half's window is sealed
 func (b *inbox) drainDue(bound sim.Time, into []crossMsg) []crossMsg {
 	b.mu.Lock()
 	due := 0
@@ -80,6 +84,8 @@ func (b *inbox) drainDue(bound sim.Time, into []crossMsg) []crossMsg {
 }
 
 // leftover reports messages still queued (in flight when the run ended).
+//
+//ctmsvet:crossing peek end-of-run accounting: reads a count after all workers have joined, moves no messages
 func (b *inbox) leftover() int {
 	b.mu.Lock()
 	l := len(b.msgs)
@@ -185,6 +191,7 @@ func (n *Network) Run(workers int) *Results {
 		var wg sync.WaitGroup
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
+			//ctmsvet:allow shardowned this is the ownership transfer itself: Run hands each worker its disjoint shard slice once, before any window starts, and joins them all before touching shard state again
 			go func(w int) {
 				defer wg.Done()
 				n.runWorker(w, workers, bar)

@@ -30,9 +30,9 @@ type StreamResult struct {
 
 	// Delivery delay versus the nominal capture schedule, measured at the
 	// receiver: end-to-end ring access, bridge hops and link latency.
-	LatencyMax  sim.Time
-	LatencySum  sim.Time
-	LatencyN    uint64
+	LatencyMax sim.Time
+	LatencySum sim.Time
+	LatencyN   uint64
 }
 
 // LatencyMean is the average delivery delay (0 when nothing arrived).
@@ -179,6 +179,8 @@ func (n *Network) collect(workers int) *Results {
 }
 
 // sentTotal reports the lifetime message count through the inbox.
+//
+//ctmsvet:crossing peek end-of-run accounting: reads the lifetime counter after all workers have joined, moves no messages
 func (b *inbox) sentTotal() uint64 {
 	b.mu.Lock()
 	s := b.sent
