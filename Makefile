@@ -13,19 +13,22 @@ vet:
 	$(GO) vet ./...
 
 # ctmsvet is the repo's own analyzer suite (internal/analyzers), all
-# three tiers: the syntactic determinism/units/exhaustive rules, the
-# typed mbuflife/locking/hotpath rules, and the interprocedural
-# shardowned/seedflow/barrier rules DESIGN.md §7 specifies. It exits
-# nonzero with file:line:col diagnostics on any finding and leaves the
-# machine-readable artifact in ctmsvet.json for CI to archive.
+# four tiers: the syntactic determinism/exhaustive rules, the typed
+# mbuflife/locking/hotpath rules, the interprocedural
+# shardowned/seedflow/barrier rules, and the dimensional-inference dim
+# rule DESIGN.md §7 specifies. (The syntactic units heuristic is
+# demoted whenever dim runs; lint-fast keeps it as the cheap stand-in.)
+# It exits nonzero with file:line:col diagnostics on any finding and
+# leaves the machine-readable artifact in ctmsvet.json for CI to
+# archive.
 lint:
 	$(GO) run ./cmd/ctmsvet -out ctmsvet.json
 
 # The edit-compile loop's lint: the syntactic tier alone (no go/types
-# loading), restricted to files differing from HEAD — sub-second on a
-# clean tree, still instant with a handful of files in flight. The full
-# tree and all three tiers run in `make lint` (and ci), which stays the
-# gate.
+# loading, units included), restricted to files differing from HEAD —
+# sub-second on a clean tree, still instant with a handful of files in
+# flight. The full tree and all four tiers run in `make lint` (and ci),
+# which stays the gate.
 lint-fast:
 	$(GO) run ./cmd/ctmsvet -typed=false -changed HEAD
 

@@ -45,8 +45,9 @@
 // determinism gate: at a matching rate and scale the arrival and
 // admission counts must reproduce the baseline exactly.
 //
-// The -lint benchmark times ctmsvet's three tiers (syntactic, typed,
-// interprocedural) over this tree and records lint_wall_seconds rows.
+// The -lint benchmark times ctmsvet's four tiers (syntactic, typed,
+// interprocedural, dimensional) over this tree and records
+// lint_wall_seconds rows.
 // Under -compare a tier that takes more than double its baseline wall
 // time fails the gate, so an analyzer that grows superlinear work is
 // caught the same way a simulator perf regression is.
@@ -140,11 +141,11 @@ type benchRecord struct {
 
 // lintRow is one ctmsvet tier's cost on the real tree, recorded under
 // -lint so analyzer slowdowns gate like perf regressions. The typed row
-// includes the go/types module load it pays for; the inter row is the
-// marginal cost of the interprocedural pass on the already-loaded
-// module, exactly the increment `make lint` pays over the typed tier.
+// includes the go/types module load it pays for; the inter and dim rows
+// are the marginal cost of their passes on the already-loaded module,
+// exactly the increments `make lint` pays over the typed tier.
 type lintRow struct {
-	Tier        string  `json:"tier"` // syntactic | typed | inter
+	Tier        string  `json:"tier"` // syntactic | typed | inter | dim
 	WallSeconds float64 `json:"wall_seconds"`
 	Findings    int     `json:"findings"`
 }
@@ -218,7 +219,7 @@ func realMain() int {
 		speedTol   = flag.Float64("speed-tolerance", 0.50, "with -compare: allowed fractional sim_seconds_per_second loss vs the baseline")
 		shards     = flag.String("shards", "", "comma-separated worker counts for the E18 shard-scaling benchmark (e.g. 1,2,4,8; empty disables)")
 		population = flag.Bool("population", false, "run the E19 population offered-load sweep and record its rows")
-		lint       = flag.Bool("lint", false, "time the three ctmsvet tiers on this tree and record lint_wall_seconds rows")
+		lint       = flag.Bool("lint", false, "time the four ctmsvet tiers on this tree and record lint_wall_seconds rows")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
@@ -516,12 +517,13 @@ func runPopulationBench(scale core.Scale, seed int64, parallel int) ([]populatio
 	return rows, nil
 }
 
-// runLintBench times the three ctmsvet tiers over the repository the
+// runLintBench times the four ctmsvet tiers over the repository the
 // benchmark runs in, one row each. The syntactic tier is a pure-AST
-// walk; the typed row carries the go/types load of the whole module;
-// the inter row reuses that load, so it measures only what the
-// interprocedural World and its three analyzers add — the same split
-// `make lint` pays via cmd/ctmsvet.
+// walk, run without units to mirror `make lint`'s demotion of the
+// syntactic units pass in favor of the dim tier; the typed row carries
+// the go/types load of the whole module; the inter and dim rows reuse
+// that load, so each measures only what its own pass adds — the same
+// split `make lint` pays via cmd/ctmsvet.
 func runLintBench() ([]lintRow, error) {
 	root, err := analyzers.FindModuleRoot(".")
 	if err != nil {
@@ -529,7 +531,7 @@ func runLintBench() ([]lintRow, error) {
 	}
 
 	start := time.Now()
-	syn, err := analyzers.RunRepo(root)
+	syn, err := analyzers.RunRepo(root, "determinism", "exhaustive")
 	if err != nil {
 		return nil, fmt.Errorf("-lint syntactic tier: %w", err)
 	}
@@ -552,6 +554,13 @@ func runLintBench() ([]lintRow, error) {
 		return nil, fmt.Errorf("-lint inter tier: %w", err)
 	}
 	rows = append(rows, lintRow{Tier: "inter", WallSeconds: time.Since(start).Seconds(), Findings: len(inter)})
+
+	start = time.Now()
+	dim, err := analyzers.RunModuleDim(mod)
+	if err != nil {
+		return nil, fmt.Errorf("-lint dim tier: %w", err)
+	}
+	rows = append(rows, lintRow{Tier: "dim", WallSeconds: time.Since(start).Seconds(), Findings: len(dim)})
 	return rows, nil
 }
 

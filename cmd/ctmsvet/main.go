@@ -1,8 +1,14 @@
 // Command ctmsvet runs the repository's custom static-analysis suite
 // (see DESIGN.md §7): the syntactic tier — determinism, units,
-// exhaustive — the typed tier — mbuflife, locking, hotpath — and the
-// interprocedural tier — shardowned, seedflow, barrier — of
-// internal/analyzers. It is the `make lint` step of `make ci`.
+// exhaustive — the typed tier — mbuflife, locking, hotpath — the
+// interprocedural tier — shardowned, seedflow, barrier — and the
+// dimensional-inference tier — dim — of internal/analyzers. It is the
+// `make lint` step of `make ci`.
+//
+// When the dim tier runs (the default), the syntactic units analyzer is
+// demoted: dim subsumes it with interprocedural dimension propagation,
+// so running both would double-report clean-tree findings. The fast
+// -typed=false path (make lint-fast) keeps units as the cheap stand-in.
 //
 // Usage:
 //
@@ -10,6 +16,7 @@
 //	ctmsvet -root DIR           # analyze the module rooted at DIR
 //	ctmsvet -typed=false        # fast syntactic pass only (make lint-fast)
 //	ctmsvet -inter=false        # skip the interprocedural tier
+//	ctmsvet -dim=false          # skip the dimensional-inference tier
 //	ctmsvet -analyzers a,b,c    # run only the named analyzers
 //	ctmsvet -changed HEAD       # report only findings in files differing from a git ref
 //	ctmsvet -json               # machine-readable diagnostics on stdout
@@ -60,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		outPath      = fs.String("out", "", "write the findings JSON artifact to this file")
 		typed        = fs.Bool("typed", true, "run the typed tier (mbuflife, locking, hotpath); =false is the fast syntactic pass")
 		inter        = fs.Bool("inter", true, "run the interprocedural tier (shardowned, seedflow, barrier); needs -typed")
+		dim          = fs.Bool("dim", true, "run the dimensional-inference tier (dim); needs -typed; demotes the syntactic units analyzer")
 		changedRef   = fs.String("changed", "", "report only findings in files differing from this git ref (plus untracked files)")
 		list         = fs.Bool("list", false, "print the analyzer names and exit")
 	)
@@ -118,13 +126,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
-	diags, err := analyzers.RunRepo(dir, only...)
+	// With the dim tier on and no explicit selection, the syntactic
+	// units analyzer is demoted: dim propagates the same name-derived
+	// dimensions interprocedurally, so units would double-report every
+	// clean-tree finding. An explicit -analyzers selection is honored
+	// verbatim either way.
+	syntacticOnly := only
+	if len(only) == 0 && *typed && *dim {
+		syntacticOnly = []string{"determinism", "exhaustive"}
+	}
+	diags, err := analyzers.RunRepo(dir, syntacticOnly...)
 	if err != nil {
 		fmt.Fprintf(stderr, "ctmsvet: %v\n", err)
 		return 2
 	}
 	if *typed {
-		// Both type-checked tiers share one module load: the source
+		// All type-checked tiers share one module load: the source
 		// importer pass dominates their cost.
 		mod, err := analyzers.LoadTypedModule(dir)
 		if err != nil {
@@ -144,6 +161,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return 2
 			}
 			diags = analyzers.MergeDiagnostics(diags, idiags)
+		}
+		if *dim {
+			ddiags, err := analyzers.RunModuleDim(mod, only...)
+			if err != nil {
+				fmt.Fprintf(stderr, "%v\n", err)
+				return 2
+			}
+			diags = analyzers.MergeDiagnostics(diags, ddiags)
 		}
 	}
 	if changed != nil {
@@ -202,12 +227,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 // — as absolute paths, for filtering diagnostics. Analysis still runs
 // over the whole module (an interprocedural finding in a changed file
 // can depend on unchanged code), only the report is restricted.
+//
+// The diff runs with --name-status -M so renames are followed: an R row
+// lists old path then new, and the findings live in the new one.
+// (--name-only would contribute only the pre-rename path, silently
+// skipping every finding in a renamed file.)
 func changedFiles(root, ref string) (map[string]bool, error) {
 	top, err := gitOut(root, "rev-parse", "--show-toplevel")
 	if err != nil {
 		return nil, fmt.Errorf("-changed %s: %v", ref, err)
 	}
-	diff, err := gitOut(root, "diff", "--name-only", ref)
+	diff, err := gitOut(root, "diff", "--name-status", "-M", ref)
 	if err != nil {
 		return nil, fmt.Errorf("-changed %s: %v", ref, err)
 	}
@@ -220,17 +250,34 @@ func changedFiles(root, ref string) (map[string]bool, error) {
 		return nil, err
 	}
 	changed := make(map[string]bool)
-	for _, line := range strings.Split(diff+"\n"+untracked, "\n") {
+	add := func(line string) {
 		line = strings.TrimSpace(line)
 		if line == "" || !strings.HasSuffix(line, ".go") {
-			continue
+			return
 		}
 		abs := filepath.Join(top, filepath.FromSlash(line))
 		// Only files inside the analyzed module matter.
 		if rel, err := filepath.Rel(absRoot, abs); err != nil || strings.HasPrefix(rel, "..") {
-			continue
+			return
 		}
 		changed[abs] = true
+	}
+	for _, line := range strings.Split(diff, "\n") {
+		// --name-status rows are status<TAB>path, with rename/copy rows
+		// status<TAB>old<TAB>new; the file that exists now is the last
+		// column.
+		cols := strings.Split(line, "\t")
+		if len(cols) < 2 {
+			continue
+		}
+		status := strings.TrimSpace(cols[0])
+		if strings.HasPrefix(status, "D") {
+			continue // a deleted file has no findings to report
+		}
+		add(cols[len(cols)-1])
+	}
+	for _, line := range strings.Split(untracked, "\n") {
+		add(line)
 	}
 	return changed, nil
 }

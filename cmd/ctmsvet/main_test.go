@@ -274,6 +274,34 @@ func spin(d Dial) int {
 	}
 }
 
+// TestCLIChangedFollowsRenames: a rename row in the diff contributes
+// its new path to the changed set. Before this was fixed, an R row added
+// only the old path — which no finding carries — so violations in a
+// renamed file silently vanished from the gate.
+func TestCLIChangedFollowsRenames(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not available")
+	}
+	dir := scratchModule(t)
+	gitIn(t, dir, "init", "-q")
+	gitIn(t, dir, "add", ".")
+	gitIn(t, dir, "commit", "-qm", "seed")
+
+	// Rename the violating file and commit, so diffing against the first
+	// commit produces an R row rather than a delete/add pair.
+	gitIn(t, dir, "mv", "main.go", "described.go")
+	gitIn(t, dir, "commit", "-qm", "rename")
+
+	code, stdout, stderr := runCLI(t, "-root", dir, "-typed=false", "-changed", "HEAD~1")
+	if code != 1 {
+		t.Fatalf("exit %d, want 1: the renamed file's finding must survive the filter\nstdout:\n%s\nstderr:\n%s",
+			code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "described.go") || !strings.Contains(stdout, "Phase misses Done") {
+		t.Fatalf("finding should be reported at the post-rename path:\n%s", stdout)
+	}
+}
+
 // TestCLIInterFlag: the interprocedural tier rides on the typed tier's
 // module load, and -inter=false drops exactly its findings.
 func TestCLIInterFlag(t *testing.T) {

@@ -59,7 +59,7 @@ func sweep(stations int, seconds float64, size int, seed int64, offered float64,
 	rng := sim.NewRNG(seed)
 
 	// Background: exponential arrivals totalling the offered load.
-	frameTime := sim.BitsOnWire(size, cfg.BitRate)
+	frameTime := sim.WireTime(size, cfg.BitRate)
 	mean := sim.Scale(frameTime, 1/offered)
 	var arm func()
 	arm = func() {

@@ -51,8 +51,9 @@ const reqHeaderBytes = 64
 // Disk models the server's disk: a seek plus a transfer at a fixed rate,
 // with requests serialized on the arm.
 type Disk struct {
-	sched     *sim.Scheduler
-	seek      sim.Time
+	sched *sim.Scheduler
+	seek  sim.Time
+	//ctmsvet:unit s/byte
 	perByte   sim.Time
 	busyUntil sim.Time
 	Reads     uint64

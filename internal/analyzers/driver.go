@@ -139,7 +139,7 @@ func LoadPackage(fset *token.FileSet, dir string) (*Package, error) {
 // declared functions take which parameter names (for unit matching of
 // call arguments) and which names are map-typed (for range-over-map
 // detection). Keys are both bare ("WireTime", same-package calls) and
-// package-qualified ("sim.BitsOnWire", cross-package selector calls).
+// package-qualified ("sim.WireTime", cross-package selector calls).
 type Index struct {
 	funcParams map[string][]string
 	mapFields  map[string]bool

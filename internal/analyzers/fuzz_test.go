@@ -63,6 +63,76 @@ func FuzzAllowDirective(f *testing.F) {
 	})
 }
 
+// FuzzUnitDirective pins the dim tier's parsing stack as total over
+// arbitrary comment text: parseUnitDirective never panics and only
+// accepts text carrying the //ctmsvet:unit prefix; ParseDim never
+// panics on whatever expression the directive yields; and any dimension
+// ParseDim does accept survives a String round-trip, so the dimensions
+// echoed in diagnostics can be pasted back into directives verbatim.
+func FuzzUnitDirective(f *testing.F) {
+	f.Add("//ctmsvet:unit bit/s")
+	f.Add("//ctmsvet:unit s/byte cost")
+	f.Add("//ctmsvet:unit bit/s ringBits")
+	f.Add("//ctmsvet:unit byte result")
+	f.Add("//ctmsvet:unit s")
+	f.Add("//ctmsvet:unit 1")
+	f.Add("//ctmsvet:unit hz")
+	f.Add("//ctmsvet:unit byte^3/s^2")
+	f.Add("//ctmsvet:unit bit/s smoothed over a window")
+	f.Add("//ctmsvet:unit")
+	f.Add("//ctmsvet:unit bit/")
+	f.Add("//ctmsvet:unit /s")
+	f.Add("//ctmsvet:unit blip")
+	f.Add("//ctmsvet:unit s^0")
+	f.Add("//ctmsvet:unit s^10")
+	f.Add("//ctmsvet:unit 1^2")
+	f.Add("//ctmsvet:unitx bit")
+	f.Add("// ctmsvet:unit bit leading space disqualifies")
+	f.Add("//ctmsvet:allow units not a unit directive")
+	f.Add("/*ctmsvet:unit block*/")
+	f.Add("")
+	f.Add("//ctmsvet:unit\tbit/s\ttab separated")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		dimExpr, target, extra, ok := parseUnitDirective(text)
+		if !ok {
+			if dimExpr != "" || target != "" || extra {
+				t.Fatalf("rejected input returned non-empty parts: %q %q %v", dimExpr, target, extra)
+			}
+			if strings.HasPrefix(text, unitDirectivePrefix) {
+				t.Fatalf("input with the unit prefix was rejected: %q", text)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, unitDirectivePrefix) {
+			t.Fatalf("accepted input without the unit prefix: %q", text)
+		}
+		for _, tok := range []string{dimExpr, target} {
+			if strings.ContainsAny(tok, " \t") {
+				t.Fatalf("token contains whitespace: %q (from %q)", tok, text)
+			}
+		}
+		if dimExpr == "" && (target != "" || extra) {
+			t.Fatalf("empty dimension but target %q extra %v (from %q)", target, extra, text)
+		}
+		// ParseDim must be total over whatever expression the directive
+		// carries, and accepted dimensions must round-trip through
+		// String so diagnostics quote reusable annotations.
+		d, err := ParseDim(dimExpr)
+		if err != nil {
+			return
+		}
+		rendered := d.String()
+		back, err := ParseDim(rendered)
+		if err != nil {
+			t.Fatalf("ParseDim(%q) accepted but its rendering %q did not parse: %v", dimExpr, rendered, err)
+		}
+		if back != d {
+			t.Fatalf("round-trip changed the dimension: %q -> %q", dimExpr, rendered)
+		}
+	})
+}
+
 // FuzzCrossingDirective pins parseCrossingDirective's contract the same
 // way: total over arbitrary text, accepts exactly the //ctmsvet:crossing
 // prefix, the role token carries no spaces, the reason comes back

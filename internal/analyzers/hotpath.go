@@ -132,6 +132,9 @@ func checkHotpathBody(p *TypedPass, fd *ast.FuncDecl) {
 }
 
 func checkHotpathCall(p *TypedPass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if checkStringByteConversion(p, fd, call) {
+		return
+	}
 	switch fun := ast.Unparen(call.Fun).(type) {
 	case *ast.Ident:
 		switch fun.Name {
@@ -162,6 +165,45 @@ func checkHotpathCall(p *TypedPass, fd *ast.FuncDecl, call *ast.CallExpr) {
 		}
 	}
 	checkBoxing(p, fd, call)
+}
+
+// checkStringByteConversion flags string([]byte) and []byte(string)
+// conversions: each copies the data into a fresh allocation. Cold
+// failure branches are exempt by construction — the walker never
+// descends into them — matching the panic/Checkf rule for every other
+// hotpath check. Reports true when call is such a conversion.
+func checkStringByteConversion(p *TypedPass, fd *ast.FuncDecl, call *ast.CallExpr) bool {
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() || len(call.Args) != 1 {
+		return false
+	}
+	at := p.TypeOf(call.Args[0])
+	if at == nil {
+		return false
+	}
+	switch {
+	case isStringType(tv.Type) && isByteSliceType(at):
+		p.Reportf(call.Pos(), "allocates: string(byte slice) copies in hotpath function %s (keep it as []byte, or hoist the conversion off the hot path)", fd.Name.Name)
+		return true
+	case isByteSliceType(tv.Type) && isStringType(at):
+		p.Reportf(call.Pos(), "allocates: []byte(string) copies in hotpath function %s (keep it as a string, or hoist the conversion off the hot path)", fd.Name.Name)
+		return true
+	}
+	return false
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSliceType(t types.Type) bool {
+	sl, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := sl.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Uint8
 }
 
 // checkBoxing flags basic values (ints, floats, strings, bools) passed

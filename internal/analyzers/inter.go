@@ -323,23 +323,10 @@ func (w *World) scanCalls(tp *TypedPackage) {
 }
 
 // calleeOf resolves a call expression to its function object, or nil
-// for calls through function values the graph cannot see into.
+// for calls through function values the graph cannot see into. The dim
+// tier shares the same resolution (calleeObjectOf, dimflow.go).
 func (w *World) calleeOf(tp *TypedPackage, call *ast.CallExpr) types.Object {
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		if o := tp.Info.Uses[fun]; o != nil {
-			if _, ok := o.(*types.Func); ok {
-				return o
-			}
-		}
-	case *ast.SelectorExpr:
-		if o := tp.Info.Uses[fun.Sel]; o != nil {
-			if _, ok := o.(*types.Func); ok {
-				return o
-			}
-		}
-	}
-	return nil
+	return calleeObjectOf(tp, call)
 }
 
 // Crossing reports the crossing annotation on a function object.

@@ -1,0 +1,17 @@
+// Package blessed checks the two blessed unit conversions — *8 widens
+// bytes to bits, /8 narrows bits to bytes — and that skipping the
+// conversion still conflicts.
+package blessed
+
+//ctmsvet:unit byte
+var sizeBytes int64
+
+//ctmsvet:unit bit
+var sizeBits int64
+
+func widen() {
+	sizeBits = sizeBytes * 8
+	sizeBytes = sizeBits / 8
+	sizeBits = 8 * sizeBytes
+	sizeBits = sizeBytes // want `byte value flows into bit slot`
+}

@@ -1,0 +1,26 @@
+// Package conflict plants a payload measured in bytes flowing into a
+// bits slot across a call boundary: the value's seed and the slot's seed
+// live in different declarations, and only the interprocedural flow
+// connects them.
+package conflict
+
+// frame is a wire frame; its payload size is bytes on the medium.
+type frame struct {
+	//ctmsvet:unit byte
+	payload int64
+}
+
+var ledger int64
+
+// budget books reserved capacity, owed in bits.
+//
+//ctmsvet:unit bit n
+func budget(n int64) int64 {
+	ledger += n
+	return ledger
+}
+
+// reserve forwards the frame's byte count where bits are owed.
+func reserve(f frame) int64 {
+	return budget(f.payload) // want `byte value flows into bit slot`
+}

@@ -1,0 +1,34 @@
+// Package directives exercises unit-directive validation: every
+// malformed //ctmsvet:unit must fail loudly, never silently skip the
+// annotation it was meant to install.
+//
+// Layout note: the directives here ride trailing comments or float
+// free of any declaration — a doc comment would let the formatter
+// reorder the directive past its want line. The function-target
+// validations (bad parameter name, ambiguous result) need doc-comment
+// attachment, so they live in TestDimDirectiveFuncTargets instead.
+package directives
+
+var badBase int64 //ctmsvet:unit blip
+// want `unknown base unit "blip"`
+
+var trailing int64 //ctmsvet:unit bit/s smoothed over a window
+// want `trailing words`
+
+var truncated int64 //ctmsvet:unit bit/
+// want `ends in "/"`
+
+var missing int64 //ctmsvet:unit
+// want `names no dimension`
+
+//ctmsvet:unit byte
+// want `not attached`
+
+type sized struct {
+	n int64 //ctmsvet:unit byte n
+	// want `takes no target token`
+}
+
+func use(s sized) int64 {
+	return badBase + trailing + truncated + missing + s.n
+}

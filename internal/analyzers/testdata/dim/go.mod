@@ -1,0 +1,3 @@
+module dimfix
+
+go 1.22

@@ -1,0 +1,22 @@
+// Package poly checks untyped constants stay polymorphic: one literal
+// (or named constant) may fill a bits budget on one line and a window in
+// seconds on the next without manufacturing a conflict between the two
+// slots.
+package poly
+
+//ctmsvet:unit bit
+var budgetBits int64
+
+//ctmsvet:unit s
+var window int64
+
+// quantum is dimensionless until context gives it one.
+const quantum = 4096
+
+func fill() {
+	budgetBits = quantum
+	window = quantum
+	budgetBits = 1 << 12
+	window = 60
+	budgetBits += quantum
+}

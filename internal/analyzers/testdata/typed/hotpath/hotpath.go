@@ -77,6 +77,16 @@ func methodValue(s *q) func(*item) {
 	return s.push // want `allocates: method value s\.push boxes its receiver in hotpath function methodValue`
 }
 
+//ctmsvet:hotpath
+func tagString(b []byte) string {
+	return string(b) // want `allocates: string\(byte slice\) copies in hotpath function tagString`
+}
+
+//ctmsvet:hotpath
+func tagBytes(s string) []byte {
+	return []byte(s) // want `allocates: \[\]byte\(string\) copies in hotpath function tagBytes`
+}
+
 // ---- clean patterns: no diagnostics expected below this line ----
 
 //ctmsvet:hotpath
@@ -128,4 +138,21 @@ func (s *q) suppressed(v int) {
 // coldBuilder carries no directive: allocation is unrestricted.
 func coldBuilder() *item {
 	return &item{}
+}
+
+//ctmsvet:hotpath
+func coldConvert(b []byte, bad bool) {
+	if bad {
+		// cold failure branch: the crash path may build its message
+		panic("corrupt header: " + string(b))
+	}
+}
+
+// header is a named byte-slice: converting between named and unnamed
+// byte slices copies nothing.
+type header []byte
+
+//ctmsvet:hotpath
+func retag(b []byte) header {
+	return header(b)
 }

@@ -251,7 +251,7 @@ func LoadTypedModule(root string) (*Module, error) {
 // AllTyped lists the typed-tier analyzers.
 var AllTyped = []*TypedAnalyzer{Mbuflife, Locking, Hotpath}
 
-// AnalyzerNames returns the names of every analyzer in all three tiers, in
+// AnalyzerNames returns the names of every analyzer in all four tiers, in
 // suite order. This is the -analyzers vocabulary and the known-set for
 // //ctmsvet:allow validation: a directive naming a typed analyzer must
 // stay valid even when only the syntactic tier runs.
@@ -266,6 +266,7 @@ func AnalyzerNames() []string {
 	for _, a := range AllInter {
 		names = append(names, a.Name)
 	}
+	names = append(names, DimAnalyzerName)
 	return names
 }
 

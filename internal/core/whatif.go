@@ -18,13 +18,15 @@ func runE16(s Scale) *Comparison {
 		dur = s.Duration
 	}
 
-	run := func(bitRate int64, rate int) (*Results, error) {
+	run := func(bitRate int64, bytesPerSec int) (*Results, error) {
 		cfg := TestCaseB()
-		cfg.Name = fmt.Sprintf("whatif-%dMbit-%dKBps", bitRate/1_000_000, rate/1000)
+		mbit := bitRate / 1_000_000
+		kBps := bytesPerSec / 1000
+		cfg.Name = fmt.Sprintf("whatif-%dMbit-%dKBps", mbit, kBps)
 		cfg.Duration = dur
 		cfg.Insertions = false
 		cfg.RingBitRate = bitRate
-		cfg.PacketBytes = rate * int(cfg.Interval) / int(sim.Second)
+		cfg.PacketBytes = bytesPerSec * int(cfg.Interval) / int(sim.Second)
 		if s.Seed != 0 {
 			cfg.Seed = s.Seed
 		}

@@ -122,7 +122,7 @@ func (t *TAP) Utilization(bitRate int64, window sim.Time) float64 {
 	}
 	var busy sim.Time
 	for _, e := range t.entries {
-		busy += sim.BitsOnWire(e.Len, bitRate)
+		busy += sim.WireTime(e.Len, bitRate)
 	}
 	return float64(busy) / float64(window)
 }

@@ -142,7 +142,7 @@ func AnalyzeTrace(entries []TAPEntry, bitRate int64) TraceAnalysis {
 	var busy sim.Time
 	var deltas []float64
 	for i, e := range entries {
-		busy += sim.BitsOnWire(e.Len, bitRate)
+		busy += sim.WireTime(e.Len, bitRate)
 		if e.Kind == ring.MAC {
 			a.MACFrames++
 		}

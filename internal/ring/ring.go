@@ -140,19 +140,23 @@ func (r *Ring) OnPurge(fn func(at sim.Time)) { r.purgeHooks = append(r.purgeHook
 // itself does not police reservations — the 802.5 priority mechanism is
 // the enforcement — but the bookkeeping lets tools report how much of the
 // wire is spoken for.
+//
+//ctmsvet:unit bit/s n
 func (r *Ring) ReserveBits(n int64) {
 	r.reserved += n
 	sim.Checkf(r.reserved >= 0, "ring reservation went negative")
 }
 
 // ReservedBits reports the bandwidth currently promised to connections.
+//
+//ctmsvet:unit bit/s result
 func (r *Ring) ReservedBits() int64 { return r.reserved }
 
 // WireTime reports how long a frame of n bytes occupies the ring,
 // including per-station repeat and cable latency.
 func (r *Ring) WireTime(n int) sim.Time {
 	lat := sim.Time(len(r.stations))*r.cfg.StationLatency + r.cfg.CableLatency
-	return sim.BitsOnWire(n, r.cfg.BitRate) + lat
+	return sim.WireTime(n, r.cfg.BitRate) + lat
 }
 
 // Attach creates a station, inserts it into the ring quietly (no purge —

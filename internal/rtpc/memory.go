@@ -45,20 +45,30 @@ func (m MemoryKind) String() string {
 type CostModel struct {
 	// CPUCopySys is a CPU copy within system memory (mbuf shuffling,
 	// copyin/copyout).
+	//
+	//ctmsvet:unit s/byte
 	CPUCopySys sim.Time
 	// CPUCopyIOCh is a CPU copy that crosses the IOCC into IO Channel
 	// Memory. The paper measures this at 1 µs/byte (§5.3: 2000 bytes of a
 	// CTMSP packet account for 2000 µs of the 2600 µs send path).
+	//
+	//ctmsvet:unit s/byte
 	CPUCopyIOCh sim.Time
 	// CPUCopyDevice is programmed IO over a byte-wide device interface
 	// (the VCA). Slowest of all.
+	//
+	//ctmsvet:unit s/byte
 	CPUCopyDevice sim.Time
 	// CPUCopyUser is a copyin/copyout crossing the user/kernel boundary
 	// (uiomove): access checks and page handling make it far slower than
 	// a kernel-internal bcopy on this class of machine.
+	//
+	//ctmsvet:unit s/byte
 	CPUCopyUser sim.Time
 	// DMAPerByteSys is an adapter's DMA rate to/from a buffer in system
 	// memory: the fast path through the IOCC (which steals CPU cycles).
+	//
+	//ctmsvet:unit s/byte
 	DMAPerByteSys sim.Time
 	// DMAPerByteIOCh is the DMA rate to/from IO Channel Memory: two
 	// devices arbitrating for the same IO Channel Bus, much slower, but
@@ -66,6 +76,8 @@ type CostModel struct {
 	// 2000-byte frame's minimum transmitter-to-receiver latency is
 	// ≈10.74 ms and the queued-state service time is just under the
 	// 12 ms packet interval, both per §5.3.
+	//
+	//ctmsvet:unit s/byte
 	DMAPerByteIOCh sim.Time
 	// DMASysInterference is the fractional CPU slowdown while a DMA
 	// engine is targeting system memory (bus arbitration against the

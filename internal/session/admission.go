@@ -75,13 +75,16 @@ type Decision struct {
 	Reason string
 	// ReservedBits is the ring bandwidth reserved (bits/s, wire framing
 	// included); zero when rejected.
+	//
+	//ctmsvet:unit bit/s
 	ReservedBits int64
 }
 
 type reservation struct {
 	id    int
 	class Class
-	bits  int64
+	//ctmsvet:unit bit/s
+	bits int64
 }
 
 // Controller reserves ring bandwidth per stream against a fixed budget:
@@ -92,9 +95,12 @@ type reservation struct {
 //
 //ctmsvet:shardowned
 type Controller struct {
-	nominalBits    int64 // bit rate × utilization cap
+	//ctmsvet:unit bit/s
+	nominalBits int64 // bit rate × utilization cap
+	//ctmsvet:unit bit/s
 	backgroundBits int64 // standing background load
-	penaltyBits    int64 // transient outage-driven capacity loss
+	//ctmsvet:unit bit/s
+	penaltyBits int64 // transient outage-driven capacity loss
 
 	reservations []reservation
 }
@@ -103,6 +109,9 @@ type Controller struct {
 // utilizationCap is the fraction of the wire admission may promise
 // (leaving headroom for token overhead and MAC traffic); backgroundBits
 // is the standing non-CTMS load subtracted from the budget.
+//
+//ctmsvet:unit bit/s ringBits
+//ctmsvet:unit bit/s backgroundBits
 func NewController(ringBits int64, utilizationCap float64, backgroundBits int64) *Controller {
 	sim.Checkf(ringBits > 0, "controller needs a positive ring rate")
 	sim.Checkf(utilizationCap > 0 && utilizationCap <= 1, "utilization cap %v out of (0,1]", utilizationCap)
@@ -115,6 +124,8 @@ func NewController(ringBits int64, utilizationCap float64, backgroundBits int64)
 
 // EffectiveBits is the capacity admission currently has to give:
 // the nominal budget minus background load minus the transient penalty.
+//
+//ctmsvet:unit bit/s result
 func (c *Controller) EffectiveBits() int64 {
 	e := c.nominalBits - c.backgroundBits - c.penaltyBits
 	if e < 0 {
@@ -124,6 +135,8 @@ func (c *Controller) EffectiveBits() int64 {
 }
 
 // ReservedBits is the bandwidth currently promised to admitted streams.
+//
+//ctmsvet:unit bit/s result
 func (c *Controller) ReservedBits() int64 {
 	var sum int64
 	for _, r := range c.reservations {
@@ -135,6 +148,8 @@ func (c *Controller) ReservedBits() int64 {
 // Admit decides one stream's reservation. id must be unique per stream;
 // decisions are made strictly in call order (first come, first reserved),
 // which keeps a session's admissions deterministic.
+//
+//ctmsvet:unit bit/s bits
 func (c *Controller) Admit(id int, class Class, bits int64) Decision {
 	sim.Checkf(bits > 0, "stream %d requests non-positive bandwidth", id)
 	for _, r := range c.reservations {
@@ -165,9 +180,13 @@ func (c *Controller) Release(id int) {
 // AddPenalty shrinks the effective capacity by bits (a Ring Purge outage
 // amortized over its window); RemovePenalty restores it when the window
 // expires.
+//
+//ctmsvet:unit bit/s bits
 func (c *Controller) AddPenalty(bits int64) { c.penaltyBits += bits }
 
 // RemovePenalty undoes a prior AddPenalty.
+//
+//ctmsvet:unit bit/s bits
 func (c *Controller) RemovePenalty(bits int64) {
 	c.penaltyBits -= bits
 	sim.Checkf(c.penaltyBits >= 0, "penalty went negative")

@@ -54,6 +54,8 @@ type StreamSpec struct {
 
 // OfferedBits is the ring bandwidth the stream needs: packet plus Token
 // Ring framing, every Interval.
+//
+//ctmsvet:unit bit/s result
 func (s StreamSpec) OfferedBits() int64 {
 	wire := s.PacketBytes + tradapter.RingOverhead
 	return int64(float64(wire*8) / s.Interval.Seconds())
@@ -244,6 +246,8 @@ type Results struct {
 	RingUtilization float64
 	// ReservedBitsEnd is the bandwidth still reserved when the run ended
 	// (admitted minus shed).
+	//
+	//ctmsvet:unit bit/s
 	ReservedBitsEnd int64
 }
 
@@ -358,7 +362,7 @@ func Run(cfg Config) (*Results, error) {
 	// Background load: a sliver of MAC chatter plus 1522-byte transfer
 	// frames making up the rest of the declared utilization.
 	var gens []interface{ Stop() }
-	backgroundBits := int64(cfg.BackgroundUtil * float64(cfg.RingBitRate))
+	backgroundBitRate := int64(cfg.BackgroundUtil * float64(cfg.RingBitRate))
 	if cfg.BackgroundUtil > 0 {
 		macUtil := cfg.BackgroundUtil * 0.1
 		if macUtil > 0.01 {
@@ -369,13 +373,13 @@ func Run(cfg Config) (*Results, error) {
 		restUtil := cfg.BackgroundUtil - macUtil
 		if restUtil > 0 {
 			src, dst := r.Attach("bg-src"), r.Attach("bg-dst")
-			frameTime := sim.BitsOnWire(1522, cfg.RingBitRate)
+			frameTime := sim.WireTime(1522, cfg.RingBitRate)
 			mean := sim.Scale(frameTime, 1/restUtil)
 			gens = append(gens, workload.NewChatterGen(r, src, dst, 1522, 1522, mean, rng.Fork("bg-data")))
 		}
 	}
 
-	ctrl := NewController(cfg.RingBitRate, cfg.UtilizationCap, backgroundBits)
+	ctrl := NewController(cfg.RingBitRate, cfg.UtilizationCap, backgroundBitRate)
 
 	results := &Results{Config: cfg, Elapsed: cfg.Duration}
 	results.Streams = make([]StreamResult, len(cfg.Streams))
@@ -391,22 +395,22 @@ func Run(cfg Config) (*Results, error) {
 	}
 
 	for i, spec := range cfg.Streams {
-		bits := spec.OfferedBits()
+		offered := spec.OfferedBits()
 		var dec Decision
 		if cfg.DisableAdmission {
-			dec = Decision{Admitted: true, ReservedBits: bits}
+			dec = Decision{Admitted: true, ReservedBits: offered}
 		} else {
-			dec = ctrl.Admit(i, spec.Class, bits)
+			dec = ctrl.Admit(i, spec.Class, offered)
 		}
 		results.Streams[i] = StreamResult{Spec: spec, Decision: dec}
 		if !dec.Admitted {
 			results.Rejected++
-			cfg.Trace.AddEvent(sched.Now(), EvReject, int64(i), bits)
+			cfg.Trace.AddEvent(sched.Now(), EvReject, int64(i), offered)
 			continue
 		}
 		results.Admitted++
 		cfg.Trace.AddEvent(sched.Now(), EvAdmit, int64(i), dec.ReservedBits)
-		r.ReserveBits(bits)
+		r.ReserveBits(offered)
 		st, err := buildStream(cfg, i, spec, sched, r, 0, popHist)
 		if err != nil {
 			return nil, err
@@ -434,7 +438,7 @@ func Run(cfg Config) (*Results, error) {
 	// survivors fit again. Shed streams stay shed (no re-admission
 	// flapping); a new session must re-apply.
 	if !cfg.DisableAdmission {
-		penalty := int64(float64(ctrl.EffectiveBits()+backgroundBits) *
+		penalty := int64(float64(ctrl.EffectiveBits()+backgroundBitRate) *
 			(ringCfg.PurgeDuration.Seconds() / cfg.PurgePenaltyWindow.Seconds()))
 		r.OnPurge(func(at sim.Time) {
 			ctrl.AddPenalty(penalty)
@@ -480,23 +484,23 @@ func Run(cfg Config) (*Results, error) {
 			arrival := a
 			streamID := id
 			sched.At(a.At, "session.pop-arrive", func() {
-				bits := spec.OfferedBits()
-				cfg.Trace.AddEvent(arrival.At, EvArrive, int64(streamID), bits)
+				offered := spec.OfferedBits()
+				cfg.Trace.AddEvent(arrival.At, EvArrive, int64(streamID), offered)
 				var dec Decision
 				if cfg.DisableAdmission {
-					dec = Decision{Admitted: true, ReservedBits: bits}
+					dec = Decision{Admitted: true, ReservedBits: offered}
 				} else {
-					dec = ctrl.Admit(streamID, spec.Class, bits)
+					dec = ctrl.Admit(streamID, spec.Class, offered)
 				}
 				res.Decision = dec
 				if !dec.Admitted {
 					results.Rejected++
-					cfg.Trace.AddEvent(arrival.At, EvReject, int64(streamID), bits)
+					cfg.Trace.AddEvent(arrival.At, EvReject, int64(streamID), offered)
 					return
 				}
 				results.Admitted++
 				cfg.Trace.AddEvent(arrival.At, EvAdmit, int64(streamID), dec.ReservedBits)
-				r.ReserveBits(bits)
+				r.ReserveBits(offered)
 				st, err := buildStream(cfg, streamID, spec, sched, r, arrival.At, popHist)
 				// The spec was validated before the run; machinery
 				// construction cannot fail for it.
@@ -513,8 +517,8 @@ func Run(cfg Config) (*Results, error) {
 						st.departAt = arrival.DepartAt
 						st.dev.Stop()
 						ctrl.Release(streamID)
-						r.ReserveBits(-bits)
-						cfg.Trace.AddEvent(arrival.DepartAt, EvDepart, int64(streamID), bits)
+						r.ReserveBits(-offered)
+						cfg.Trace.AddEvent(arrival.DepartAt, EvDepart, int64(streamID), offered)
 					})
 				}
 			})

@@ -271,7 +271,7 @@ func TestTimeUnits(t *testing.T) {
 	if got := (3 * Microsecond).Microseconds(); got != 3 {
 		t.Fatalf("Microseconds: got %v", got)
 	}
-	if got := BitsOnWire(2000, 4_000_000); got != 4*Millisecond {
+	if got := WireTime(2000, 4_000_000); got != 4*Millisecond {
 		t.Fatalf("2000 bytes on a 4 Mbit ring should take 4 ms, got %v", got)
 	}
 	if got := Scale(100*Microsecond, 1.5); got != 150*Microsecond {

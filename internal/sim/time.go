@@ -13,6 +13,8 @@ import (
 // Time is a point in simulated time, measured in nanoseconds since the
 // start of the run. It is a distinct type from time.Duration to keep
 // simulated and real time from being mixed accidentally.
+//
+//ctmsvet:unit s
 type Time int64
 
 // Duration is a span of simulated time in nanoseconds.
@@ -57,11 +59,13 @@ func Scale(t Time, factor float64) Time {
 }
 
 // PerByte builds a duration from a per-byte cost and a byte count.
+//
+//ctmsvet:unit s/byte cost
 func PerByte(cost Time, n int) Time { return cost * Time(n) }
 
-// BitsOnWire reports how long n bytes occupy a serial medium running at
+// WireTime reports how long n bytes occupy a serial medium running at
 // bitsPerSecond. It is exact for the 4 Mbit/s Token Ring: 2 µs per byte.
-func BitsOnWire(n int, bitsPerSecond int64) Time {
+func WireTime(n int, bitsPerSecond int64) Time {
 	bits := int64(n) * 8
 	return Time(bits * int64(Second) / bitsPerSecond)
 }

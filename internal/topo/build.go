@@ -147,7 +147,7 @@ func (n *Network) buildShards() {
 			r.Attach("pop")
 		}
 		s := &shard{idx: i, sched: sched, ring: r}
-		backgroundBits := int64(spec.BackgroundUtil * float64(spec.RingBitRate))
+		backgroundBitRate := int64(spec.BackgroundUtil * float64(spec.RingBitRate))
 		if spec.BackgroundUtil > 0 {
 			rng := sim.NewRNG(seed)
 			macUtil := spec.BackgroundUtil * 0.1
@@ -159,12 +159,12 @@ func (n *Network) buildShards() {
 			restUtil := spec.BackgroundUtil - macUtil
 			if restUtil > 0 {
 				src, dst := r.Attach("bg-src"), r.Attach("bg-dst")
-				frameTime := sim.BitsOnWire(1522, spec.RingBitRate)
+				frameTime := sim.WireTime(1522, spec.RingBitRate)
 				mean := sim.Scale(frameTime, 1/restUtil)
 				s.gens = append(s.gens, workload.NewChatterGen(r, src, dst, 1522, 1522, mean, rng.Fork("bg-data")))
 			}
 		}
-		s.ctrl = session.NewController(spec.RingBitRate, spec.UtilizationCap, backgroundBits)
+		s.ctrl = session.NewController(spec.RingBitRate, spec.UtilizationCap, backgroundBitRate)
 		n.shards = append(n.shards, s)
 	}
 }
@@ -295,15 +295,15 @@ func (n *Network) pathRings(src, dst int) []int {
 // mbuf tag end to end, so the receive path is the session layer's
 // unchanged.
 func (n *Network) buildStream(i int, spec StreamSpec) error {
-	bits := spec.OfferedBits()
+	offered := spec.OfferedBits()
 	path := n.pathRings(spec.SrcRing, spec.DstRing)
 	st := &stream{idx: i, spec: spec, path: path}
 	n.streams = append(n.streams, st)
 
-	st.dec = session.Decision{Admitted: true, ReservedBits: bits}
+	st.dec = session.Decision{Admitted: true, ReservedBits: offered}
 	var granted []int
 	for _, r := range path {
-		d := n.shards[r].ctrl.Admit(i, spec.Class, bits)
+		d := n.shards[r].ctrl.Admit(i, spec.Class, offered)
 		if !d.Admitted {
 			st.dec = session.Decision{Admitted: false,
 				Reason: fmt.Sprintf("ring %d: %s", r, d.Reason)}
@@ -315,7 +315,7 @@ func (n *Network) buildStream(i int, spec StreamSpec) error {
 		granted = append(granted, r)
 	}
 	for _, r := range path {
-		n.shards[r].ring.ReserveBits(bits)
+		n.shards[r].ring.ReserveBits(offered)
 	}
 
 	src, dst := n.shards[spec.SrcRing], n.shards[spec.DstRing]

@@ -53,8 +53,9 @@ func (r StreamResult) DeliveredFraction() float64 {
 
 // RingResult is one ring's accounting.
 type RingResult struct {
-	Counters     ring.Counters
-	Utilization  float64
+	Counters    ring.Counters
+	Utilization float64
+	//ctmsvet:unit bit/s
 	ReservedBits int64
 	// Admitted / Rejected count streams whose path includes this ring;
 	// a rejection is charged to the refusing ring only.

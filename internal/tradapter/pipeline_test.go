@@ -92,7 +92,7 @@ func TestWireThroughputBound(t *testing.T) {
 		tx.drv.Output(mkPacket(tx.k, 2000, ClassCTMSP, dst))
 	}
 	sched.Run()
-	wire := sim.BitsOnWire(2021, 4_000_000)
+	wire := sim.WireTime(2021, 4_000_000)
 	for i := 1; i < len(times); i++ {
 		if d := times[i] - times[i-1]; d < wire {
 			t.Fatalf("packets %d spaced %v, below the %v wire time", i, d, wire)

@@ -28,7 +28,7 @@ type MACGen struct {
 // bandwidth (the paper observed 0.002–0.010).
 func NewMACGen(r *ring.Ring, st *ring.Station, util float64, rng *sim.RNG) *MACGen {
 	sim.Checkf(util > 0 && util < 1, "MAC utilization %v out of range", util)
-	frameTime := sim.BitsOnWire(20, r.Config().BitRate)
+	frameTime := sim.WireTime(20, r.Config().BitRate)
 	g := &MACGen{
 		r:    r,
 		st:   st,

@@ -197,6 +197,8 @@ type Admission struct {
 	Reason string
 	// ReservedBits is the ring bandwidth reserved in bits/s, Token Ring
 	// framing included; zero when rejected.
+	//
+	//ctmsvet:unit bit/s
 	ReservedBits int64
 }
 
@@ -249,6 +251,8 @@ type SessionResult struct {
 	RingUtilization float64
 	// ReservedBits is the bandwidth still reserved when the run ended
 	// (admitted minus shed).
+	//
+	//ctmsvet:unit bit/s
 	ReservedBits int64
 	// Report is the human-readable per-stream summary.
 	Report string
@@ -324,15 +328,15 @@ func NewSession(opts SessionOptions) (*Session, error) {
 // newController mirrors the controller session.Run will build, so Add's
 // eager verdicts match the run's replayed decisions exactly.
 func (s *Session) newController() *session.Controller {
-	ringBits := s.cfg.RingBitRate
-	if ringBits == 0 {
-		ringBits = ring.DefaultConfig().BitRate
+	ringBitRate := s.cfg.RingBitRate
+	if ringBitRate == 0 {
+		ringBitRate = ring.DefaultConfig().BitRate
 	}
 	uc := s.cfg.UtilizationCap
 	if uc == 0 {
 		uc = session.DefaultUtilizationCap
 	}
-	return session.NewController(ringBits, uc, int64(s.cfg.BackgroundUtil*float64(ringBits)))
+	return session.NewController(ringBitRate, uc, int64(s.cfg.BackgroundUtil*float64(ringBitRate)))
 }
 
 // Add offers one stream to the session and returns its admission verdict
