@@ -42,11 +42,13 @@ race:
 	$(GO) test -race ./...
 
 # The sharded engine's dedicated race gate: E18 serial-vs-4-shard
-# bit-identity under the race detector. `make race` already covers it
-# via ./..., but this target keeps the smoke runnable (and named) on
-# its own so a future test filter can't silently drop it from ci.
+# bit-identity, the E20 mesh smoke (per-link windows, drain-round skip
+# protocol, pooled forwarding) and the randomized mesh oracle, all under
+# the race detector. `make race` already covers them via ./..., but this
+# target keeps the smokes runnable (and named) on their own so a future
+# test filter can't silently drop them from ci.
 race-shards:
-	$(GO) test -race -run 'TestE18ShardedSmoke|TestShardSerialEquivalence' \
+	$(GO) test -race -run 'TestE18ShardedSmoke|TestShardSerialEquivalence|TestE20MeshSmoke|TestMeshOracleWorkerCounts' \
 		./internal/core ./internal/topo
 
 # A one-iteration benchmark smoke: catches benchmarks that no longer
@@ -63,12 +65,12 @@ bench:
 # Refresh the baseline with: make bench-baseline (on a quiet machine).
 bench-check:
 	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
-		-shards 1,2,4,8 -population -lint \
+		-shards 1,2,4,8 -topo 4,8 -population -lint \
 		-benchout /tmp/ctmsbench-check.json -compare BENCH.baseline.json
 
 bench-baseline:
 	$(GO) run ./cmd/ctmsbench -experiment E17 -minutes 0.35 -parallel 1 \
-		-shards 1,2,4,8 -population -lint \
+		-shards 1,2,4,8 -topo 4,8 -population -lint \
 		-benchout BENCH.baseline.json
 
 # The public API surface (go doc -all of the root package) is pinned in

@@ -1,5 +1,5 @@
 // Command ctmsbench regenerates every table and figure of the paper's
-// evaluation: it runs the reproduction matrix (experiments E1–E18 of
+// evaluation: it runs the reproduction matrix (experiments E1–E20 of
 // DESIGN.md) and prints paper-vs-measured comparisons plus ASCII versions
 // of Figures 5-2, 5-3 and 5-4.
 //
@@ -20,6 +20,7 @@
 //	ctmsbench -benchout x.json # where to write the perf record ("" = off)
 //	ctmsbench -scenario f.json # run custom Options scenario(s) from a file
 //	ctmsbench -shards 1,2,4,8  # E18 backbone shard-scaling benchmark
+//	ctmsbench -topo 4,8        # E20 mesh topology-scaling benchmark
 //	ctmsbench -population      # E19 population sweep rows in BENCH.json
 //	ctmsbench -lint            # time the three ctmsvet tiers, record rows
 //	ctmsbench -cpuprofile c.pb # write a CPU profile of the whole run
@@ -37,6 +38,16 @@
 // rows. Real speedup needs as many free cores as shard workers; on a
 // smaller host the rows still gate correctness (identical=true) while
 // the speedup column honestly reports the time-sharing loss.
+//
+// The -topo benchmark scales the E20 metro mesh across grid sides (a
+// side-K entry is a K×K grid with a diagonal trunk, K² rings). Each side
+// runs twice — the serial oracle and a sharded run at min(rings,
+// GOMAXPROCS) workers — and records wall time, simsec/s, allocations per
+// forwarded cross-ring frame (a whole-run mallocs delta over the mesh's
+// forwarded-frame count, so the driver path is included — the pooled
+// forwarding layer itself is pinned to zero by unit tests), the
+// barrier-stall fraction and whether the sharded fingerprint stayed
+// bit-identical to the serial one, in BENCH.json's topo_scaling rows.
 //
 // The -population benchmark runs the E19 offered-load sweep (Zipf-skewed
 // demand, Poisson churn) and records one row per arrival rate — the
@@ -135,6 +146,7 @@ type benchRecord struct {
 	Failures     int               `json:"failures"`
 	Experiments  []benchExperiment `json:"experiments"`
 	ShardScaling []shardScaling    `json:"shard_scaling,omitempty"`
+	TopoScaling  []topoScaling     `json:"topo_scaling,omitempty"`
 	Population   []populationRow   `json:"population,omitempty"`
 	Lint         []lintRow         `json:"lint_wall_seconds,omitempty"`
 }
@@ -181,6 +193,27 @@ type shardScaling struct {
 	Identical    bool    `json:"identical"`
 }
 
+// topoScaling is one row of the E20 mesh topology-scaling benchmark: one
+// K×K metro mesh at one worker count. AllocsPerFrame divides the run's
+// whole-process mallocs delta by the frames the mesh forwarded across
+// rings — an end-to-end cost-per-frame figure (the driver path included),
+// not the pooled forwarding layer's own count, which unit tests pin at
+// zero. StallFraction is the share of worker wall time spent blocked in
+// the round barrier, the quantity the per-link windows and idle-round
+// skips exist to shrink. Identical reports whether this row's fingerprint
+// matched the serial (1-worker) run of the same mesh.
+type topoScaling struct {
+	Rings          int     `json:"rings"`
+	Workers        int     `json:"workers"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	SimSeconds     float64 `json:"sim_seconds"`
+	SimSecPerSec   float64 `json:"sim_seconds_per_second"`
+	Forwarded      uint64  `json:"forwarded_frames"`
+	AllocsPerFrame float64 `json:"allocs_per_forwarded_frame"`
+	StallFraction  float64 `json:"barrier_stall_fraction"`
+	Identical      bool    `json:"identical"`
+}
+
 // The per-experiment allocation/simulated-work columns are measured only
 // when -parallel 1: under parallel dispatch the process-wide counters
 // interleave across experiments, so the columns stay zero there.
@@ -218,6 +251,7 @@ func realMain() int {
 		mallocTol  = flag.Float64("malloc-tolerance", 0.10, "with -compare: allowed fractional mallocs growth over the baseline")
 		speedTol   = flag.Float64("speed-tolerance", 0.50, "with -compare: allowed fractional sim_seconds_per_second loss vs the baseline")
 		shards     = flag.String("shards", "", "comma-separated worker counts for the E18 shard-scaling benchmark (e.g. 1,2,4,8; empty disables)")
+		topoSides  = flag.String("topo", "", "comma-separated mesh grid sides for the E20 topology-scaling benchmark (e.g. 4,8; empty disables)")
 		population = flag.Bool("population", false, "run the E19 population offered-load sweep and record its rows")
 		lint       = flag.Bool("lint", false, "time the four ctmsvet tiers on this tree and record lint_wall_seconds rows")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -364,6 +398,20 @@ func realMain() int {
 		}
 	}
 
+	if *topoSides != "" {
+		rows, err := runTopoScaling(*topoSides, scale, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %v\n", err)
+			return 1
+		}
+		rec.TopoScaling = rows
+		for _, row := range rows {
+			fmt.Printf("--- topo %3d rings × %2d worker(s): wall %.2fs  %.1f simsec/s  %.1f allocs/frame  stall %.1f%%  identical=%t\n",
+				row.Rings, row.Workers, row.WallSeconds, row.SimSecPerSec,
+				row.AllocsPerFrame, 100*row.StallFraction, row.Identical)
+		}
+	}
+
 	if *population {
 		rows, err := runPopulationBench(scale, *seed, *parallel)
 		if err != nil {
@@ -402,6 +450,13 @@ func realMain() int {
 	for _, row := range rec.ShardScaling {
 		if !row.Identical {
 			fmt.Fprintf(os.Stderr, "ctmsbench: %d-shard run diverged from the reference fingerprint\n", row.Shards)
+			return 1
+		}
+	}
+	for _, row := range rec.TopoScaling {
+		if !row.Identical {
+			fmt.Fprintf(os.Stderr, "ctmsbench: %d-ring mesh at %d workers diverged from the serial fingerprint\n",
+				row.Rings, row.Workers)
 			return 1
 		}
 	}
@@ -469,6 +524,86 @@ func runShardScaling(list string, scale core.Scale, seed int64) ([]shardScaling,
 			row.Speedup = refWall / wallSec
 		}
 		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runTopoScaling runs the E20 metro mesh once serially and once sharded
+// per requested grid side. The serial run is the bit-identity reference
+// and the first row of each pair; the sharded run uses min(rings,
+// GOMAXPROCS) workers with a wall clock injected so the barrier-stall
+// column measures something. The simulated duration is the matrix scale
+// capped at 2 s (E20's own full scale) so even the 16×16 mesh stays a
+// minute-scale addendum.
+func runTopoScaling(list string, scale core.Scale, seed int64) ([]topoScaling, error) {
+	var sides []int
+	for _, part := range strings.Split(list, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || k < 2 || k > 16 {
+			return nil, fmt.Errorf("-topo: bad grid side %q (want 2..16)", part)
+		}
+		sides = append(sides, k)
+	}
+	dur := 2 * sim.Second
+	if scale.Duration > 0 && scale.Duration < dur {
+		dur = scale.Duration
+	}
+	base := seed
+	if base == 0 {
+		base = 1991
+	}
+	topo.SetWallClock(func() int64 { return time.Now().UnixNano() })
+	defer topo.SetWallClock(nil)
+
+	var rows []topoScaling
+	for _, side := range sides {
+		spec := core.E20Topology(side, core.SweepSeed(base, 20), dur)
+		rings := spec.Rings
+		// The sharded row runs at least 4 workers even on a smaller host:
+		// bit-identity must hold under time-sharing too (only the speed
+		// columns need real cores), so a 1-core runner still exercises the
+		// barrier protocol instead of silently degenerating to serial.
+		workers := []int{1, min(rings, max(4, runtime.GOMAXPROCS(0)))}
+		var refFingerprint string
+		for _, w := range workers {
+			n, err := topo.Build(spec)
+			if err != nil {
+				return nil, err
+			}
+			var before runtime.MemStats
+			runtime.ReadMemStats(&before)
+			simBefore := sim.TotalSimulated()
+			start := time.Now()
+			res := n.Run(w)
+			wallSec := time.Since(start).Seconds()
+			var after runtime.MemStats
+			runtime.ReadMemStats(&after)
+			simSec := (sim.TotalSimulated() - simBefore).Seconds()
+			fp := res.Fingerprint()
+			if w == 1 {
+				refFingerprint = fp
+			}
+			var fwd uint64
+			for _, l := range res.Links {
+				fwd += l.A.Forwarded + l.B.Forwarded
+			}
+			row := topoScaling{
+				Rings:         rings,
+				Workers:       w,
+				WallSeconds:   wallSec,
+				SimSeconds:    simSec,
+				Forwarded:     fwd,
+				StallFraction: res.Engine.StallFraction(w),
+				Identical:     fp == refFingerprint,
+			}
+			if wallSec > 0 {
+				row.SimSecPerSec = simSec / wallSec
+			}
+			if fwd > 0 {
+				row.AllocsPerFrame = float64(after.Mallocs-before.Mallocs) / float64(fwd)
+			}
+			rows = append(rows, row)
+		}
 	}
 	return rows, nil
 }
@@ -615,6 +750,34 @@ func compareBench(path string, rec benchRecord, mallocTol, speedTol float64) err
 				problems = append(problems, fmt.Sprintf(
 					"%d-shard sim_seconds_per_second %.1f fell below baseline %.1f (floor %.1f)",
 					row.Shards, row.SimSecPerSec, b.SimSecPerSec, floor))
+			}
+		}
+	}
+	// Topo-scaling rows follow the shard-scaling rule: compared only where
+	// a (rings, workers) pair exists in both records, so baselines
+	// regenerated without -topo never trip the gate. A matched row must be
+	// bit-identical to its serial oracle and hold the matrix speed floor;
+	// the allocation column additionally gates with the malloc tolerance —
+	// allocs per forwarded frame is a per-unit cost, so host variance
+	// cannot inflate it the way wall time inflates raw counters.
+	for _, row := range rec.TopoScaling {
+		for _, b := range base.TopoScaling {
+			if b.Rings != row.Rings || b.Workers != row.Workers {
+				continue
+			}
+			if !row.Identical {
+				problems = append(problems, fmt.Sprintf(
+					"%d-ring mesh at %d workers no longer bit-identical to the serial oracle", row.Rings, row.Workers))
+			}
+			if floor := b.SimSecPerSec * (1 - speedTol); b.SimSecPerSec > 0 && row.SimSecPerSec < floor {
+				problems = append(problems, fmt.Sprintf(
+					"%d-ring mesh at %d workers: sim_seconds_per_second %.1f fell below baseline %.1f (floor %.1f)",
+					row.Rings, row.Workers, row.SimSecPerSec, b.SimSecPerSec, floor))
+			}
+			if limit := b.AllocsPerFrame * (1 + mallocTol); b.AllocsPerFrame > 0 && row.AllocsPerFrame > limit {
+				problems = append(problems, fmt.Sprintf(
+					"%d-ring mesh at %d workers: %.2f allocs per forwarded frame exceeds baseline %.2f by more than %.0f%% (limit %.2f)",
+					row.Rings, row.Workers, row.AllocsPerFrame, b.AllocsPerFrame, 100*mallocTol, limit))
 			}
 		}
 	}

@@ -64,7 +64,62 @@ func (b *box) unblessed(s *shard) { // want `unblessed locks a mutex while touch
 	b.mu.Unlock()
 }
 
+// envelope mirrors the router's pooled cross-ring frame wrapper: a
+// free-listed object whose lifetime belongs to the shard that popped it.
+// Escaping one is worse than escaping plain shard state — the pool will
+// hand the same memory to the next frame while the escapee still reads it.
+//
+//ctmsvet:shardowned
+type envelope struct {
+	payload []byte
+}
+
+// envPool mirrors the per-shard free list the envelopes recycle through.
+// It reaches envelopes transitively, so it is shard-reachable itself.
+type envPool struct {
+	free []*envelope
+}
+
+func (p *envPool) get() *envelope {
+	if n := len(p.free); n > 0 {
+		e := p.free[n-1]
+		p.free = p.free[:n-1]
+		return e
+	}
+	return &envelope{}
+}
+
+func (p *envPool) put(e *envelope) {
+	e.payload = nil
+	p.free = append(p.free, e)
+}
+
+var escapedEnv *envelope // want `package-level var escapedEnv can reach shardowned state`
+
+// leakEnvelope parks a pooled envelope in a package-level var: the pool
+// recycles it on the next put while the global still points at it.
+func leakEnvelope(p *envPool) {
+	escapedEnv = p.get() // want `store of shard-reachable value .* into package-level var escapedEnv`
+}
+
+// recycleThenSpawn is the use-after-recycle shape: the envelope goes back
+// to the free list, then a goroutine keeps reading it.
+func recycleThenSpawn(p *envPool, e *envelope) {
+	p.put(e)
+	go func() { // want `go statement's closure captures shard-reachable e`
+		_ = e.payload
+	}()
+}
+
 // ---- clean patterns: no diagnostics expected below this line ----
+
+// pooledRoundTrip is the blessed steady state: the envelope never leaves
+// the owning scope between get and put, so no diagnostic fires.
+func pooledRoundTrip(p *envPool) {
+	e := p.get()
+	e.payload = e.payload[:0]
+	p.put(e)
+}
 
 // put is the blessed crossing: the mutex section is annotated.
 //

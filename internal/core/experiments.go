@@ -117,6 +117,7 @@ func Experiments() []Experiment {
 		{ID: "E17", Source: "§3 (sessions)", Title: "multi-stream admission: the knee, the free-for-all, the shed", Run: runE17},
 		{ID: "E18", Source: "§1 (scale)", Title: "K-ring backbone: per-hop admission, sharded engine oracle", Run: runE18},
 		{ID: "E19", Source: "§1 (population)", Title: "population workload: Zipf skew, Poisson churn, distributional latency", Run: runE19},
+		{ID: "E20", Source: "§1 (mesh)", Title: "metro mesh: compiled routing, pooled forwarding, per-link windows", Run: runE20},
 	}
 }
 

@@ -98,6 +98,15 @@ type Pool struct {
 	clustersInUse int
 	waiters       []*waiter
 	stats         PoolStats
+	// Node free lists: Free pushes a chain's mbufs here and build pops
+	// them, so the steady state allocates no Mbuf objects. Chain shells
+	// are NOT recycled — receivers read Chain.Tag after the sender's
+	// Free (tradapter's transmit-complete can run before the receive
+	// interrupt), and a recycled shell would let a later packet overwrite
+	// the tag mid-flight. Shell reuse is the caller's business (see
+	// AllocInto); the pool only guarantees Free never scribbles on Tag.
+	freeSmall    []*Mbuf
+	freeClusters []*Mbuf
 }
 
 type waiter struct {
@@ -149,7 +158,32 @@ func (p *Pool) available(small, clusters int) bool {
 	return p.smallInUse+small <= p.smallCap && p.clustersInUse+clusters <= p.clusterCap
 }
 
+// node pops a recycled mbuf of the requested kind, or allocates one on
+// the cold path before the free list reaches steady state.
+//
+//ctmsvet:hotpath
+func (p *Pool) node(cluster bool) *Mbuf {
+	list := &p.freeSmall
+	if cluster {
+		list = &p.freeClusters
+	}
+	if n := len(*list); n > 0 {
+		m := (*list)[n-1]
+		(*list)[n-1] = nil
+		*list = (*list)[:n-1]
+		return m
+	}
+	return &Mbuf{Cluster: cluster} //ctmsvet:allow hotpath cold refill path, runs only until the node free list reaches steady state
+}
+
 func (p *Pool) build(small, clusters, n int) *Chain {
+	c := &Chain{}
+	p.buildInto(c, small, clusters, n)
+	return c
+}
+
+//ctmsvet:hotpath
+func (p *Pool) buildInto(c *Chain, small, clusters, n int) {
 	p.smallInUse += small
 	p.clustersInUse += clusters
 	if p.smallInUse > p.stats.SmallHigh {
@@ -162,7 +196,18 @@ func (p *Pool) build(small, clusters, n int) *Chain {
 
 	var head, tail *Mbuf
 	left := n
-	link := func(m *Mbuf) {
+	for i := 0; i < clusters+small; i++ {
+		cluster := i < clusters
+		l := MbufDataSize
+		if cluster {
+			l = ClusterSize
+		}
+		if left < l {
+			l = left
+		}
+		left -= l
+		m := p.node(cluster)
+		m.Len = l
 		if head == nil {
 			head = m
 		} else {
@@ -170,24 +215,10 @@ func (p *Pool) build(small, clusters, n int) *Chain {
 		}
 		tail = m
 	}
-	for i := 0; i < clusters; i++ {
-		l := ClusterSize
-		if left < l {
-			l = left
-		}
-		left -= l
-		link(&Mbuf{Len: l, Cluster: true})
+	if head == nil {
+		sim.Checkf(false, "empty chain built for %d bytes", n) //ctmsvet:allow hotpath failure branch only; need() always shapes at least one mbuf
 	}
-	for i := 0; i < small; i++ {
-		l := MbufDataSize
-		if left < l {
-			l = left
-		}
-		left -= l
-		link(&Mbuf{Len: l})
-	}
-	sim.Checkf(head != nil, "empty chain built for %d bytes", n)
-	return &Chain{Head: head}
+	c.Head = head
 }
 
 // AllocNoWait allocates a chain for n payload bytes, or returns nil if the
@@ -199,6 +230,27 @@ func (p *Pool) AllocNoWait(n int) *Chain {
 		return nil
 	}
 	return p.build(small, clusters, n)
+}
+
+// AllocInto is AllocNoWait for a caller-owned chain shell: it fills c with
+// freshly accounted mbufs instead of allocating a new Chain, or reports
+// false (leaving c untouched) when the pool is exhausted. Pooled frame
+// envelopes use it so steady-state forwarding allocates no chain objects.
+// The shell must be empty — filling a chain that still owns buffers would
+// leak them past the accounting.
+//
+//ctmsvet:hotpath
+func (p *Pool) AllocInto(c *Chain, n int) bool {
+	if c.Head != nil {
+		sim.Checkf(false, "AllocInto on a chain that still holds %d mbufs", c.Mbufs())
+	}
+	small, clusters := need(n)
+	if !p.available(small, clusters) {
+		p.stats.Failures++
+		return false
+	}
+	p.buildInto(c, small, clusters, n)
+	return true
 }
 
 // Alloc allocates a chain for n payload bytes, calling fn when the
@@ -215,16 +267,28 @@ func (p *Pool) Alloc(n int, fn func(*Chain)) {
 }
 
 // Free returns a chain's buffers to the pool and wakes eligible waiters.
+// The mbuf nodes go onto the node free lists for reuse; the shell keeps
+// its Tag and is never recycled by the pool (see the free-list comment).
 func (p *Pool) Free(c *Chain) {
 	if c == nil || c.Head == nil {
 		return
 	}
-	for m := c.Head; m != nil; m = m.Next {
+	for m := c.Head; m != nil; {
+		next := m.Next
+		m.Next = nil
+		m.Len = 0
 		if m.Cluster {
 			p.clustersInUse--
+			if len(p.freeClusters) < p.clusterCap {
+				p.freeClusters = append(p.freeClusters, m)
+			}
 		} else {
 			p.smallInUse--
+			if len(p.freeSmall) < p.smallCap {
+				p.freeSmall = append(p.freeSmall, m)
+			}
 		}
+		m = next
 	}
 	c.Head = nil
 	p.stats.Frees++

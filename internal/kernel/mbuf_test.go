@@ -177,3 +177,72 @@ func TestDoubleFreeSafe(t *testing.T) {
 		t.Fatalf("double free corrupted pool: %+v", st)
 	}
 }
+
+// TestAllocIntoFillsCallerShell pins the pooled-envelope contract:
+// AllocInto fills a caller-owned shell with the same mbuf shape
+// AllocNoWait would build, reports exhaustion with false (shell
+// untouched, failure counted), and its Free→AllocInto steady state
+// recycles nodes instead of allocating.
+func TestAllocIntoFillsCallerShell(t *testing.T) {
+	sched := sim.NewScheduler()
+	p := NewPool(sched, 0, 0)
+	c := &Chain{}
+	for _, n := range []int{1, 112, 500, 2000} {
+		if !p.AllocInto(c, n) {
+			t.Fatalf("AllocInto(%d) failed on a fresh pool", n)
+		}
+		ref := p.AllocNoWait(n)
+		if c.Len() != ref.Len() || c.Mbufs() != ref.Mbufs() || c.Clusters() != ref.Clusters() {
+			t.Fatalf("AllocInto(%d) shaped %d bytes / %d mbufs / %d clusters; AllocNoWait shaped %d / %d / %d",
+				n, c.Len(), c.Mbufs(), c.Clusters(), ref.Len(), ref.Mbufs(), ref.Clusters())
+		}
+		p.Free(ref)
+		p.Free(c)
+	}
+
+	// Exhaustion: the shell stays empty and the failure is counted.
+	tiny := NewPool(sched, 1, 1)
+	hog := tiny.AllocNoWait(2000)
+	if hog != nil {
+		t.Fatal("2-cluster alloc should fail on a 1-cluster pool")
+	}
+	big := tiny.AllocNoWait(1024)
+	if big == nil {
+		t.Fatal("1-cluster alloc should fit")
+	}
+	before := tiny.Stats().Failures
+	if tiny.AllocInto(c, 1024) {
+		t.Fatal("AllocInto succeeded on an exhausted pool")
+	}
+	if c.Head != nil {
+		t.Fatal("failed AllocInto touched the shell")
+	}
+	if got := tiny.Stats().Failures; got != before+1 {
+		t.Fatalf("failures %d; want %d", got, before+1)
+	}
+	tiny.Free(big)
+}
+
+// TestAllocIntoSteadyStateZeroAlloc pins the node free lists: once warm,
+// an AllocInto→Free cycle on a reused shell allocates no mbuf objects
+// and no chains — the kernel end of the zero-alloc forwarding chain.
+func TestAllocIntoSteadyStateZeroAlloc(t *testing.T) {
+	sched := sim.NewScheduler()
+	p := NewPool(sched, 0, 0)
+	c := &Chain{}
+	for _, n := range []int{100, 1024, 2000} {
+		n := n
+		if !p.AllocInto(c, n) {
+			t.Fatalf("warmup AllocInto(%d) failed", n)
+		}
+		p.Free(c)
+		if got := testing.AllocsPerRun(200, func() {
+			if !p.AllocInto(c, n) {
+				t.Fatalf("steady-state AllocInto(%d) failed", n)
+			}
+			p.Free(c)
+		}); got != 0 {
+			t.Fatalf("AllocInto(%d)/Free cycle allocates %.1f per op; want 0", n, got)
+		}
+	}
+}

@@ -184,3 +184,37 @@ func TestRouterBidirectional(t *testing.T) {
 		t.Fatalf("per-port accounting: %+v", st)
 	}
 }
+
+// TestHalfEnvelopePoolReuses pins the split bridge's pooled egress: the
+// envelope a recycle returns is the envelope the next Inject reuses, its
+// permanent chain shell rides along, and the steady-state get/put cycle
+// allocates nothing. (The two-phase recycle that decides WHEN putEnv
+// runs is tradapter's; here we pin the pool itself.)
+func TestHalfEnvelopePoolReuses(t *testing.T) {
+	sched := sim.NewScheduler()
+	rg := ring.New(sched, ring.DefaultConfig())
+	h := NewHalf(sched, "half", rg, 0, 2, 9)
+
+	e1 := h.getEnv()
+	if e1.Chain == nil || e1.Done == nil {
+		t.Fatal("cold-path envelope missing its permanent chain shell or Done")
+	}
+	ch1 := e1.Chain
+	e1.Chain.Tag = "stale"
+	e1.RoutedRing = 2
+	h.putEnv(e1)
+	e2 := h.getEnv()
+	if e2 != e1 || e2.Chain != ch1 {
+		t.Fatalf("pool built a fresh envelope instead of reusing: %p vs %p", e2, e1)
+	}
+	if e2.Chain.Tag != nil || e2.RoutedRing != 0 || e2.Dst != 0 {
+		t.Fatalf("recycled envelope not cleared: %+v", e2)
+	}
+	h.putEnv(e2)
+
+	if n := testing.AllocsPerRun(200, func() {
+		h.putEnv(h.getEnv())
+	}); n != 0 {
+		t.Fatalf("envelope get/put cycle allocates %.1f per op; want 0", n)
+	}
+}

@@ -1,8 +1,6 @@
 package router
 
 import (
-	"fmt"
-
 	"repro/internal/kernel"
 	"repro/internal/ring"
 	"repro/internal/rtpc"
@@ -33,6 +31,10 @@ type Half struct {
 	// that continues toward internetwork ring r; 0 means no route.
 	nextHop []ring.Addr
 	stats   HalfStats
+	envs    envPool
+	// recycleEnv is the pool-return hook armed on every injected envelope,
+	// built once so the per-frame SetRecycle call boxes no method value.
+	recycleEnv func(*tradapter.Outgoing)
 
 	// SwitchCost is the per-frame CPU cost of the forwarding decision.
 	SwitchCost sim.Time
@@ -40,6 +42,19 @@ type Half struct {
 	// switch and copy segments complete. The shard engine wires it to the
 	// cross-shard link; it must not touch this shard's state afterwards.
 	Forward func(Forwarded)
+}
+
+// envPool is the free list of injected-frame envelopes. Each envelope is
+// an Outgoing with a permanently attached chain shell and a prebuilt Done
+// that frees the chain's mbufs at transmit complete; the envelope itself
+// returns here only after the driver's two-phase recycle (transmit done
+// AND receive handler returned), so a reused envelope can never be read
+// by a frame still in flight. Every transition happens on the owning
+// ring's scheduler — the pool never crosses a shard.
+//
+//ctmsvet:shardowned
+type envPool struct {
+	free []*tradapter.Outgoing
 }
 
 // Forwarded is a frame in flight between two halves of a split bridge:
@@ -78,6 +93,7 @@ func NewHalf(sched *sim.Scheduler, name string, rg *ring.Ring, ringIdx, rings in
 		nextHop:    make([]ring.Addr, rings),
 		SwitchCost: DefaultSwitchCost,
 	}
+	h.recycleEnv = h.putEnv
 	st := rg.Attach(name)
 	cfg := tradapter.DefaultConfig()
 	cfg.DMABufferKind = rtpc.SystemMemory // routers copy; keep DMA fast
@@ -149,36 +165,66 @@ func (h *Half) ingress(class tradapter.Class, rcv *tradapter.Received) []rtpc.Se
 	return segs
 }
 
+// getEnv pops a free envelope, building one — permanent chain shell,
+// prebuilt chain-freeing Done — on the cold path only.
+//
+//ctmsvet:hotpath
+func (h *Half) getEnv() *tradapter.Outgoing {
+	if n := len(h.envs.free); n > 0 {
+		out := h.envs.free[n-1]
+		h.envs.free[n-1] = nil
+		h.envs.free = h.envs.free[:n-1]
+		return out
+	}
+	out := &tradapter.Outgoing{Chain: &kernel.Chain{}} //ctmsvet:allow hotpath cold refill path, runs only until the envelope pool reaches steady state
+	pool, ch := h.k.Pool, out.Chain
+	out.Done = func(ring.DeliveryStatus) { pool.Free(ch) } //ctmsvet:allow hotpath the Done closure is built once per pooled envelope, not per frame
+	return out
+}
+
+// putEnv clears a dead envelope and returns it to the pool. Runs via the
+// driver's recycle callback, on this half's own shard.
+//
+//ctmsvet:hotpath
+func (h *Half) putEnv(out *tradapter.Outgoing) {
+	out.Chain.Tag = nil
+	out.Dst, out.RoutedDst, out.RoutedRing = 0, 0, 0
+	out.Capture = nil
+	h.envs.free = append(h.envs.free, out) //ctmsvet:allow hotpath envelope pool grows to the in-flight high-water mark once, then reuses the array
+}
+
 // Inject re-transmits a forwarded frame onto this half's ring: the final
 // delivery hop when DstRing is this ring, or the next bridge otherwise.
 // The shard engine calls it at the frame's arrival time (send time plus
-// the link's store-and-forward latency), from this half's own shard.
+// the link's store-and-forward latency), from this half's own shard. The
+// whole egress — envelope, chain shell, mbuf nodes, completion hooks —
+// comes from shard-owned free lists, so steady-state forwarding allocates
+// nothing.
+//
+//ctmsvet:hotpath
 func (h *Half) Inject(f Forwarded) {
-	ch := h.k.Pool.AllocNoWait(f.Size)
-	if ch == nil {
+	out := h.getEnv()
+	if !h.k.Pool.AllocInto(out.Chain, f.Size) {
 		h.stats.Dropped++
+		h.putEnv(out)
 		return
 	}
-	ch.Tag = f.Tag
-	out := &tradapter.Outgoing{
-		Chain:   ch,
-		Size:    f.Size,
-		Class:   f.Class,
-		Capture: f.Capture,
-	}
+	out.Chain.Tag = f.Tag
+	out.Size = f.Size
+	out.Class = f.Class
+	out.Capture = f.Capture
 	if f.DstRing == h.ringIdx {
 		out.Dst = f.Dst
 	} else {
 		via := h.nextHop[f.DstRing]
 		if via == 0 {
-			sim.Checkf(false, "half %s: no route toward ring %d", fmt.Sprintf("r%d", h.ringIdx), f.DstRing)
+			sim.Checkf(false, "half r%d: no route toward ring %d", h.ringIdx, f.DstRing)
 		}
 		out.Dst = via
 		out.RoutedDst = f.Dst
 		out.RoutedRing = f.DstRing + 1
 	}
-	pool := h.k.Pool
-	out.Done = func(ring.DeliveryStatus) { pool.Free(ch) }
+	out.SetRecycle(h.recycleEnv)
 	h.stats.Injected++
 	h.drv.Output(out)
 	if depth := h.drv.Stats().MaxTxQueue; depth > h.stats.QueueMax {

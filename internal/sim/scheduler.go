@@ -370,6 +370,30 @@ func (s *Scheduler) Stop() { s.stopped = true }
 // this is just two counters — O(1), safe to poll from hot paths.
 func (s *Scheduler) Pending() int { return s.inWheel + len(s.overflow) }
 
+// NextAt reports the timestamp of the earliest pending event without
+// dispatching it, or ok=false when the queue is empty. Wheel events always
+// precede overflow events (step's ordering argument), so the earliest
+// occupied bucket's min — or failing that the overflow root — is the
+// queue-wide minimum. The conservative-window engine uses this to decide
+// whether a lookahead window holds any work at all before paying for a
+// barrier round.
+func (s *Scheduler) NextAt() (Time, bool) {
+	if s.inWheel > 0 {
+		bs, _ := s.firstBucket()
+		at := bs[0].at
+		for _, c := range bs[1:] {
+			if c.at < at {
+				at = c.at
+			}
+		}
+		return at, true
+	}
+	if len(s.overflow) > 0 {
+		return s.overflow[0].at, true
+	}
+	return 0, false
+}
+
 // step dispatches the earliest pending event if it is due at or before
 // bound. It reports false when the queue is empty or the next event lies
 // beyond the bound. Neither queue ever holds cancelled events (Cancel

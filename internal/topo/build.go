@@ -27,12 +27,24 @@ type Network struct {
 	links   []*link
 	streams []*stream
 	bursts  []*burst
-	// firstLink[r][d] is the link index of the first hop from ring r
-	// toward ring d (-1 when unreachable); via[r][d] is that hop's bridge
-	// station address on ring r.
-	firstLink [][]int
-	via       [][]ring.Addr
-	ran       bool
+	// routes is the all-pairs next-hop table compiled once during
+	// validation; via[r][d] is the first hop's bridge station address on
+	// ring r for frames bound to ring d.
+	routes *routeTable
+	via    [][]ring.Addr
+	// adj[i] lists shard i's incident links as (peer, latency) pairs —
+	// the per-shard lookahead recurrence the engine iterates (engine.go).
+	adj [][]ringEdge
+	// engStats is filled by Run and copied into Results by collect.
+	engStats EngineStats
+	ran      bool
+}
+
+// ringEdge is one incident link seen from a shard: the ring on the far
+// end and the store-and-forward latency toward (and from) it.
+type ringEdge struct {
+	peer int
+	lat  sim.Time
 }
 
 // shard is one ring's slice of the simulation: its own scheduler, the
@@ -49,6 +61,10 @@ type shard struct {
 	gens    []interface{ Stop() }
 	in      []*inbox   // inbound link directions terminating on this ring
 	scratch []crossMsg // drain merge buffer, reused across windows
+	// arrivals is the free list of pooled link-arrival events (one per
+	// cross-ring frame in flight into this shard), so steady-state
+	// draining allocates neither closures nor scheduler payloads.
+	arrivals []*arrival
 }
 
 // link is one bridge: a Half on each ring plus the two directed inboxes.
@@ -90,7 +106,8 @@ type burst struct {
 // insertions. The returned Network runs once, at any worker count, with
 // bit-identical results.
 func Build(spec Spec) (*Network, error) {
-	if err := spec.Validate(); err != nil {
+	rt, err := spec.validateCompiled()
+	if err != nil {
 		return nil, err
 	}
 	spec = spec.withDefaults()
@@ -98,15 +115,20 @@ func Build(spec Spec) (*Network, error) {
 		// Full-slice expression: the census must not scribble on the
 		// caller's Streams backing array.
 		spec.Streams = append(spec.Streams[:len(spec.Streams):len(spec.Streams)],
-			expandPopulation(spec)...)
+			expandPopulation(spec, rt)...)
 	}
 
-	n := &Network{spec: spec}
+	n := &Network{spec: spec, routes: rt}
 	n.window = spec.Duration
 	for _, l := range spec.Links {
 		if l.Latency < n.window {
 			n.window = l.Latency
 		}
+	}
+	n.adj = make([][]ringEdge, spec.Rings)
+	for _, l := range spec.Links {
+		n.adj[l.A] = append(n.adj[l.A], ringEdge{peer: l.B, lat: l.Latency})
+		n.adj[l.B] = append(n.adj[l.B], ringEdge{peer: l.A, lat: l.Latency})
 	}
 
 	n.buildShards()
@@ -200,18 +222,17 @@ func (n *Network) buildLinks() {
 	}
 }
 
-// buildRoutes computes BFS shortest paths over the ring graph (lowest
-// link index wins ties) and gives every bridge half a complete next-hop
-// table. via[r][d] is where a frame on ring r bound for ring d must be
-// MAC-addressed: the first-hop bridge's station.
+// buildRoutes projects the compiled next-hop table onto the built
+// bridges: via[r][d] is where a frame on ring r bound for ring d must be
+// MAC-addressed — the first-hop bridge's station, looked up O(1) in the
+// table Validate already compiled.
 func (n *Network) buildRoutes() {
 	spec := n.spec
-	n.firstLink = firstLinks(spec.Rings, spec.Links)
 	n.via = make([][]ring.Addr, spec.Rings)
 	for r := range n.via {
 		n.via[r] = make([]ring.Addr, spec.Rings)
 		for d := 0; d < spec.Rings; d++ {
-			li := n.firstLink[r][d]
+			li := n.routes.nextLink(r, d)
 			if li < 0 {
 				continue
 			}
@@ -234,55 +255,10 @@ func (n *Network) buildRoutes() {
 	}
 }
 
-// firstLinks computes, per source ring, the link index of the first hop
-// toward every destination ring (-1 when unreachable). BFS with the
-// adjacency in link-index order makes the choice deterministic.
-func firstLinks(rings int, links []LinkSpec) [][]int {
-	adj := make([][]int, rings)
-	for li, l := range links {
-		adj[l.A] = append(adj[l.A], li)
-		adj[l.B] = append(adj[l.B], li)
-	}
-	first := make([][]int, rings)
-	for src := 0; src < rings; src++ {
-		f := make([]int, rings)
-		for i := range f {
-			f[i] = -1
-		}
-		visited := make([]bool, rings)
-		visited[src] = true
-		queue := []int{src}
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			for _, li := range adj[u] {
-				v := links[li].A + links[li].B - u
-				if visited[v] {
-					continue
-				}
-				visited[v] = true
-				if u == src {
-					f[v] = li
-				} else {
-					f[v] = f[u]
-				}
-				queue = append(queue, v)
-			}
-		}
-		first[src] = f
-	}
-	return first
-}
-
-// pathRings walks the first-hop tables from src to dst, source included.
+// pathRings walks the compiled table from src to dst, source included.
 func (n *Network) pathRings(src, dst int) []int {
-	path := []int{src}
-	for cur := src; cur != dst; {
-		li := n.firstLink[cur][dst]
-		sim.Checkf(li >= 0, "topo: no path %d→%d past validation", src, dst)
-		cur = n.spec.Links[li].A + n.spec.Links[li].B - cur
-		path = append(path, cur)
-	}
+	path := n.routes.path(src, dst)
+	sim.Checkf(path != nil, "topo: no path %d→%d past validation", src, dst)
 	return path
 }
 

@@ -1,0 +1,120 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+)
+
+// routeTable is the compiled all-pairs next-hop map of the ring graph:
+// one BFS per source ring at compile time, O(1) per-hop lookups forever
+// after. Validation, population expansion, admission-path walks and the
+// bridges' forwarding tables all read this one table, so a mesh with
+// redundant paths routes identically everywhere — and identically to the
+// per-call BFS the table replaced (lowest link index wins ties, which
+// the equivalence test in routes_test.go pins against a reference BFS).
+type routeTable struct {
+	rings int
+	links []LinkSpec
+	// first[src][dst] is the link index of the first hop from src toward
+	// dst (-1 when unreachable; first[src][src] is -1 by convention).
+	first [][]int
+}
+
+// compileRoutes builds the table: breadth-first search from every source
+// with the adjacency enumerated in link-index order, so among equal-hop
+// routes the earliest-declared link always wins. Cycles (meshes,
+// redundant paths) need no special casing — BFS visits each ring once.
+func compileRoutes(rings int, links []LinkSpec) *routeTable {
+	adj := make([][]int, rings)
+	for li, l := range links {
+		adj[l.A] = append(adj[l.A], li)
+		adj[l.B] = append(adj[l.B], li)
+	}
+	first := make([][]int, rings)
+	for src := 0; src < rings; src++ {
+		f := make([]int, rings)
+		for i := range f {
+			f[i] = -1
+		}
+		visited := make([]bool, rings)
+		visited[src] = true
+		queue := []int{src}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, li := range adj[u] {
+				v := links[li].A + links[li].B - u
+				if visited[v] {
+					continue
+				}
+				visited[v] = true
+				if u == src {
+					f[v] = li
+				} else {
+					f[v] = f[u]
+				}
+				queue = append(queue, v)
+			}
+		}
+		first[src] = f
+	}
+	return &routeTable{rings: rings, links: links, first: first}
+}
+
+// reachable reports whether a frame on src can be routed to dst.
+func (t *routeTable) reachable(src, dst int) bool {
+	return src == dst || t.first[src][dst] >= 0
+}
+
+// nextLink is the link index of the first hop from src toward dst; the
+// caller must have checked reachability.
+func (t *routeTable) nextLink(src, dst int) int { return t.first[src][dst] }
+
+// path walks the table from src to dst and returns the rings along the
+// route, source first.
+func (t *routeTable) path(src, dst int) []int {
+	path := []int{src}
+	for cur := src; cur != dst; {
+		li := t.first[cur][dst]
+		if li < 0 {
+			return nil
+		}
+		cur = t.links[li].A + t.links[li].B - cur
+		path = append(path, cur)
+	}
+	return path
+}
+
+// component lists the rings reachable from r (r included), ascending.
+func (t *routeTable) component(r int) []int {
+	var out []int
+	for d := 0; d < t.rings; d++ {
+		if t.reachable(r, d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// describeComponent renders a ring's reachable set compactly for
+// unreachable-pair errors: the full list when small, a truncated prefix
+// with a count otherwise.
+func (t *routeTable) describeComponent(r int) string {
+	comp := t.component(r)
+	const show = 8
+	if len(comp) <= show {
+		return fmt.Sprintf("reaches only rings %s", joinRings(comp))
+	}
+	return fmt.Sprintf("reaches only %d rings (%s, ...)", len(comp), joinRings(comp[:show]))
+}
+
+func joinRings(rs []int) string {
+	var b strings.Builder
+	for i, r := range rs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d", r)
+	}
+	return b.String()
+}

@@ -165,88 +165,96 @@ func (s Spec) withDefaults() Spec {
 // Validate reports specification mistakes early, before any machinery is
 // built.
 func (s Spec) Validate() error {
+	_, err := s.validateCompiled()
+	return err
+}
+
+// validateCompiled is Validate plus the compiled route table the checks
+// ran against, so Build pays for the all-pairs compilation exactly once
+// and routes streams through the very table that validated them.
+func (s Spec) validateCompiled() (*routeTable, error) {
 	switch {
 	case s.Duration <= 0:
-		return fmt.Errorf("topo: duration must be positive")
+		return nil, fmt.Errorf("topo: duration must be positive")
 	case s.Rings < 1:
-		return fmt.Errorf("topo: need at least one ring, got %d", s.Rings)
+		return nil, fmt.Errorf("topo: need at least one ring, got %d", s.Rings)
 	case s.UtilizationCap < 0 || s.UtilizationCap > 1:
-		return fmt.Errorf("topo: utilization cap %v out of [0,1]", s.UtilizationCap)
+		return nil, fmt.Errorf("topo: utilization cap %v out of [0,1]", s.UtilizationCap)
 	case s.BackgroundUtil < 0 || s.BackgroundUtil >= 1:
-		return fmt.Errorf("topo: background utilization %v out of [0,1)", s.BackgroundUtil)
+		return nil, fmt.Errorf("topo: background utilization %v out of [0,1)", s.BackgroundUtil)
 	}
 	for i, l := range s.Links {
 		switch {
 		case l.A < 0 || l.A >= s.Rings || l.B < 0 || l.B >= s.Rings:
-			return fmt.Errorf("topo: link %d joins rings %d-%d, outside 0..%d", i, l.A, l.B, s.Rings-1)
+			return nil, fmt.Errorf("topo: link %d joins rings %d-%d, outside 0..%d", i, l.A, l.B, s.Rings-1)
 		case l.A == l.B:
-			return fmt.Errorf("topo: link %d joins ring %d to itself", i, l.A)
+			return nil, fmt.Errorf("topo: link %d joins ring %d to itself", i, l.A)
 		case l.Latency != 0 && l.Latency < router.DefaultSwitchCost:
-			return fmt.Errorf("topo: link %d latency %v is below the switch cost %v the lookahead bound needs",
-				i, l.Latency, sim.Time(router.DefaultSwitchCost))
+			return nil, fmt.Errorf("topo: link %d (rings %d-%d) latency %v is below the switch cost %v the lookahead bound needs",
+				i, l.A, l.B, l.Latency, sim.Time(router.DefaultSwitchCost))
 		}
 	}
-	reach := reachability(s.Rings, s.Links)
+	rt := compileRoutes(s.Rings, s.Links)
 	for i, st := range s.Streams {
 		switch {
 		case st.SrcRing < 0 || st.SrcRing >= s.Rings || st.DstRing < 0 || st.DstRing >= s.Rings:
-			return fmt.Errorf("topo: stream %d (%s) uses rings %d→%d, outside 0..%d",
+			return nil, fmt.Errorf("topo: stream %d (%s) uses rings %d→%d, outside 0..%d",
 				i, st.Name, st.SrcRing, st.DstRing, s.Rings-1)
 		case st.PacketBytes <= ctmsp.HeaderSize || st.PacketBytes > 4000:
-			return fmt.Errorf("topo: stream %d (%s): packet size %d out of range", i, st.Name, st.PacketBytes)
+			return nil, fmt.Errorf("topo: stream %d (%s): packet size %d out of range", i, st.Name, st.PacketBytes)
 		case st.Interval <= 0:
-			return fmt.Errorf("topo: stream %d (%s): interval must be positive", i, st.Name)
+			return nil, fmt.Errorf("topo: stream %d (%s): interval must be positive", i, st.Name)
 		case st.Class < session.ClassBackground || st.Class > session.ClassInteractive:
-			return fmt.Errorf("topo: stream %d (%s): unknown class %d", i, st.Name, int(st.Class))
-		case !reach[st.SrcRing][st.DstRing]:
-			return fmt.Errorf("topo: stream %d (%s): no path from ring %d to ring %d",
-				i, st.Name, st.SrcRing, st.DstRing)
+			return nil, fmt.Errorf("topo: stream %d (%s): unknown class %d", i, st.Name, int(st.Class))
+		case !rt.reachable(st.SrcRing, st.DstRing):
+			return nil, fmt.Errorf("topo: stream %d (%s): no path from ring %d to ring %d (ring %d %s)",
+				i, st.Name, st.SrcRing, st.DstRing, st.SrcRing, rt.describeComponent(st.SrcRing))
 		}
 	}
 	for i, b := range s.Bursts {
 		switch {
 		case b.SrcRing < 0 || b.SrcRing >= s.Rings || b.DstRing < 0 || b.DstRing >= s.Rings:
-			return fmt.Errorf("topo: burst %d uses rings %d→%d, outside 0..%d", i, b.SrcRing, b.DstRing, s.Rings-1)
+			return nil, fmt.Errorf("topo: burst %d uses rings %d→%d, outside 0..%d", i, b.SrcRing, b.DstRing, s.Rings-1)
 		case b.Count <= 0 || b.PacketBytes <= 0:
-			return fmt.Errorf("topo: burst %d needs positive count and size", i)
+			return nil, fmt.Errorf("topo: burst %d needs positive count and size", i)
 		case b.At < 0 || b.At > s.Duration:
-			return fmt.Errorf("topo: burst %d at %v outside the run", i, b.At)
-		case !reach[b.SrcRing][b.DstRing]:
-			return fmt.Errorf("topo: burst %d: no path from ring %d to ring %d", i, b.SrcRing, b.DstRing)
+			return nil, fmt.Errorf("topo: burst %d at %v outside the run", i, b.At)
+		case !rt.reachable(b.SrcRing, b.DstRing):
+			return nil, fmt.Errorf("topo: burst %d: no path from ring %d to ring %d (ring %d %s)",
+				i, b.SrcRing, b.DstRing, b.SrcRing, rt.describeComponent(b.SrcRing))
 		}
 	}
 	for i, ins := range s.Insertions {
 		if ins.Ring < 0 || ins.Ring >= s.Rings {
-			return fmt.Errorf("topo: insertion %d on ring %d, outside 0..%d", i, ins.Ring, s.Rings-1)
+			return nil, fmt.Errorf("topo: insertion %d on ring %d, outside 0..%d", i, ins.Ring, s.Rings-1)
 		}
 		if ins.At < 0 || ins.At > s.Duration {
-			return fmt.Errorf("topo: insertion %d at %v outside the run", i, ins.At)
+			return nil, fmt.Errorf("topo: insertion %d at %v outside the run", i, ins.At)
 		}
 	}
 	if s.Population != nil {
 		if err := s.Population.Validate(); err != nil {
-			return fmt.Errorf("topo: %w", err)
+			return nil, fmt.Errorf("topo: %w", err)
 		}
 		// The workload layer only requires positive packet sizes; the
 		// expanded streams must also fit topo's CTMSP frame bounds.
 		for i, cc := range s.Population.WithDefaults().Classes {
 			if cc.PacketBytes <= ctmsp.HeaderSize || cc.PacketBytes > 4000 {
-				return fmt.Errorf("topo: population class %d (%s): packet size %d out of (%d,4000]",
+				return nil, fmt.Errorf("topo: population class %d (%s): packet size %d out of (%d,4000]",
 					i, cc.Name, cc.PacketBytes, ctmsp.HeaderSize)
 			}
 		}
 	}
-	return nil
+	return rt, nil
 }
 
 // expandPopulation compiles the spec's population and returns the static
 // census Build admits: every compiled arrival alive at the run midpoint,
 // as full StreamSpecs. Draws come from a dedicated salt-mixed seed, so
 // the census depends only on (Seed, Population, Rings, Duration).
-func expandPopulation(s Spec) []StreamSpec {
+func expandPopulation(s Spec, rt *routeTable) []StreamSpec {
 	pop := s.Population.WithDefaults()
 	rng := sim.NewRNG(mixSeed(s.Seed, saltPopulation))
-	reach := reachability(s.Rings, s.Links)
 	census := sim.Time(s.Duration / 2)
 	var out []StreamSpec
 	for _, a := range pop.Compile(rng, s.Duration) {
@@ -256,7 +264,7 @@ func expandPopulation(s Spec) []StreamSpec {
 		cc := pop.Classes[a.Class]
 		dst := a.Title % s.Rings
 		src := rng.Intn(s.Rings)
-		if !reach[src][dst] {
+		if !rt.reachable(src, dst) {
 			// No bridge path from the drawn viewer to the title's home
 			// ring: model a local replica instead of dropping the viewer.
 			dst = src
@@ -273,32 +281,6 @@ func expandPopulation(s Spec) []StreamSpec {
 		})
 	}
 	return out
-}
-
-// reachability computes the transitive ring-to-ring connectivity.
-func reachability(rings int, links []LinkSpec) [][]bool {
-	reach := make([][]bool, rings)
-	for i := range reach {
-		reach[i] = make([]bool, rings)
-		reach[i][i] = true
-	}
-	// Union by repeated relaxation; ring counts are small.
-	for changed := true; changed; {
-		changed = false
-		for _, l := range links {
-			for d := 0; d < rings; d++ {
-				if reach[l.A][d] && !reach[l.B][d] {
-					reach[l.B][d] = true
-					changed = true
-				}
-				if reach[l.B][d] && !reach[l.A][d] {
-					reach[l.A][d] = true
-					changed = true
-				}
-			}
-		}
-	}
-	return reach
 }
 
 // mixSeed derives an independent seed per component so nearby indices get

@@ -183,6 +183,41 @@ type Outgoing struct {
 	Done func(ring.DeliveryStatus)
 
 	queuedAt sim.Time
+	// Pooled-envelope recycling (SetRecycle): refs counts the two points
+	// after which the driver guarantees no further reads of this envelope.
+	recycle func(*Outgoing)
+	refs    int8
+}
+
+// SetRecycle arms two-phase envelope recycling for pooled packets: fn runs
+// once the envelope is provably dead — after BOTH the transmit-complete
+// interrupt has run Done AND the receiving driver's class handler has
+// returned. Receivers read the envelope (class, routed fields, chain tag)
+// only synchronously inside their handler, and transmit-complete can fire
+// before or after that read, so neither side alone may reuse it. Both
+// release points run on the same ring's scheduler — no cross-shard access.
+// A frame dropped before classification (rx-buffer exhaustion) never
+// reaches its second release; the envelope is then simply garbage
+// collected and its pool refills on the cold path.
+func (p *Outgoing) SetRecycle(fn func(*Outgoing)) {
+	p.recycle = fn
+	p.refs = 2
+}
+
+// release consumes one of the two envelope references; a no-op for
+// envelopes that never armed recycling.
+//
+//ctmsvet:hotpath
+func (p *Outgoing) release() {
+	if p.recycle == nil {
+		return
+	}
+	p.refs--
+	if p.refs == 0 {
+		fn := p.recycle
+		p.recycle = nil
+		fn(p)
+	}
 }
 
 // Received is a packet arriving at the driver's split point.
@@ -502,6 +537,7 @@ func (d *Driver) txComplete(p *Outgoing, buf *rtpc.Buffer, s ring.DeliveryStatus
 			if p.Done != nil {
 				p.Done(s)
 			}
+			p.release() // transmit side is finished with the envelope
 			d.pumpWire()
 			d.pumpTx()
 		}),
@@ -582,9 +618,12 @@ func (d *Driver) rxInterrupt(f *ring.Frame, size int, buf *rtpc.Buffer) {
 			h := d.handlers[class]
 			if h == nil {
 				rcv.Release()
+				d.envelopeSeen(f)
 				return nil
 			}
-			return h(rcv)
+			segs := h(rcv)
+			d.envelopeSeen(f)
+			return segs
 		}},
 	}
 	d.k.CPU().Submit(kernel.LevelNet, "tr0.rx-intr", segs, nil)
@@ -606,6 +645,18 @@ func (d *Driver) macFrame(f *ring.Frame) {
 		}))
 	}
 	d.k.CPU().Submit(kernel.LevelNet, "tr0.mac-intr", segs, nil)
+}
+
+// envelopeSeen releases the receive-side envelope reference once the class
+// handler has returned: handlers read the Outgoing synchronously (routed
+// fields, chain tag) and keep only copied values in the segments they
+// return, so after this point the receiver never touches the envelope.
+//
+//ctmsvet:hotpath
+func (d *Driver) envelopeSeen(f *ring.Frame) {
+	if p, ok := f.Payload.(*Outgoing); ok {
+		p.release()
+	}
 }
 
 // classOf maps a frame to its driver class by inspecting the payload tag.

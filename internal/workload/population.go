@@ -121,6 +121,18 @@ func (p PopulationSpec) WithDefaults() PopulationSpec {
 	return p
 }
 
+// SteadyState estimates the number of streams concurrently alive once
+// arrivals and churn balance: by Little's law, the arrival rate times
+// the mean lifetime ChurnHalfLife/ln 2. Topology-scale specs (a census
+// over a mesh, E20) size their populations with it — a 64-ring metro
+// needs the estimate to clear four digits before the compile is worth
+// scheduling — and it is the analytic expectation the compiled
+// schedule's midpoint census fluctuates around.
+func (p PopulationSpec) SteadyState() float64 {
+	p = p.WithDefaults()
+	return p.ArrivalsPerSec * float64(p.ChurnHalfLife) / math.Ln2 / float64(sim.Second)
+}
+
 // Validate reports specification mistakes with the valid range spelled
 // out, before any schedule is compiled.
 func (p PopulationSpec) Validate() error {

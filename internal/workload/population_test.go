@@ -31,6 +31,36 @@ func TestPopulationCompileDeterministic(t *testing.T) {
 	}
 }
 
+func TestPopulationSteadyState(t *testing.T) {
+	// Little's law against a compiled schedule: count the arrivals alive
+	// at the run midpoint and compare to the analytic estimate.
+	spec := PopulationSpec{ArrivalsPerSec: 200, ChurnHalfLife: sim.Second}
+	want := 200 * 1.0 / math.Ln2 // ≈ 288.5
+	if got := spec.SteadyState(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("SteadyState() = %v; want %v", got, want)
+	}
+
+	dur := 20 * sim.Second
+	mid := dur / 2
+	alive := 0
+	for _, a := range spec.Compile(sim.NewRNG(41), dur) {
+		if a.At <= mid && a.DepartAt > mid {
+			alive++
+		}
+	}
+	// ±25% covers ~4 sigma of the midpoint census fluctuation.
+	if math.Abs(float64(alive)-want) > 0.25*want {
+		t.Fatalf("midpoint census %d far from the Little's-law estimate %.0f", alive, want)
+	}
+
+	// The zero-value spec resolves ChurnHalfLife through WithDefaults.
+	defaulted := PopulationSpec{ArrivalsPerSec: 10}
+	want = 10 * float64(DefaultChurnHalfLife) / math.Ln2 / float64(sim.Second)
+	if got := defaulted.SteadyState(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("defaulted SteadyState() = %v; want %v", got, want)
+	}
+}
+
 func TestPopulationCompileShape(t *testing.T) {
 	spec := PopulationSpec{ArrivalsPerSec: 50, ZipfSkew: 1.0, Titles: 20}
 	dur := 60 * sim.Second
